@@ -1,0 +1,71 @@
+// Ablation: lop3 packed-FP16 dequantisation vs naive int->float casts.
+// Host-side throughput of both (this is real measured work on this
+// machine) plus the modelled CUDA-core cost difference.
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "quant/dequant_trick.hpp"
+#include "quant/pack.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marlin;
+  std::cout << "=== Ablation: dequantisation method (host throughput) ===\n\n";
+
+  Rng rng(1);
+  const std::size_t n_regs = 1 << 20;  // 8M weights
+  std::vector<std::uint32_t> packed(n_regs);
+  std::vector<std::uint8_t> codes(n_regs * 8);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.uniform_int(16));
+  for (std::size_t i = 0; i < n_regs; ++i) {
+    packed[i] = quant::pack8_interleaved(
+        std::span<const std::uint8_t>(codes).subspan(i * 8, 8));
+  }
+
+  volatile std::uint32_t sink = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint32_t acc1 = 0;
+  for (const auto reg : packed) {
+    const auto vals = quant::dequant8(reg);
+    for (const auto v : vals) acc1 += v.bits();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  sink = acc1;
+
+  std::uint32_t acc2 = 0;
+  for (const auto c : codes) {
+    acc2 += quant::dequant_naive_code(c).bits();
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  sink = acc2;
+  (void)sink;
+
+  const double trick_s = std::chrono::duration<double>(t1 - t0).count();
+  const double naive_s = std::chrono::duration<double>(t2 - t1).count();
+  const double weights = static_cast<double>(n_regs) * 8;
+
+  Table table({"method", "ns/weight", "Gweights/s"});
+  table.add_row({"lop3 packed-FP16 trick",
+                 format_double(trick_s / weights * 1e9, 3),
+                 format_double(weights / trick_s / 1e9, 3)});
+  table.add_row({"naive int->float->half",
+                 format_double(naive_s / weights * 1e9, 3),
+                 format_double(weights / naive_s / 1e9, 3)});
+  table.print(std::cout);
+
+  std::cout
+      << "\nNote: on this host the trick can be *slower* — a CPU has no "
+         "packed-FP16 ALU, so each lane pays a software Half emulation. On "
+         "the GPU the comparison inverts: the trick needs 1 lop3 + 0.5 "
+         "packed-HSUB2 per weight pair (~0.75 ops/weight) while the naive "
+         "path needs shift+mask+I2F+scale (~4 ops/weight) — a ~5x "
+         "difference in CUDA-core pressure, which is what lets MARLIN hide "
+         "dequantisation entirely behind tensor-core math (paper §3.4). "
+         "The bit-exactness of both paths is proven in "
+         "tests/test_pack_dequant.cpp.\n";
+  return 0;
+}

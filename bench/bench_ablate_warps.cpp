@@ -1,0 +1,77 @@
+// Ablation: warp layout (paper Fig. 4 / §3.4 "Warp Layout").
+//
+// Two effects make narrow warp tiles lose:
+//  (1) tensor-pipe dependency stalls — fewer independent accumulator
+//      streams per warp (the warp-exec model);
+//  (2) the B memory reshuffle requires a 64-wide span so each thread can
+//      load its 8 weights of 4 separate 16x16 blocks as ONE 16-byte
+//      vector; narrower tiles shrink the per-thread load (8B/4B) and lose
+//      streaming efficiency.
+// MARLIN therefore fixes the warp tile width at 64 and splits surplus
+// warps across K_sm instead; this bench quantifies both effects and the
+// resulting end-to-end kernel time on the Figure 1 problem at batch 16.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/timing.hpp"
+#include "gpusim/warp_exec.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marlin;
+  std::cout << "=== Ablation: warp layout (A10, N_sm=256, batch 16) ===\n\n";
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
+
+  // Streaming efficiency vs per-thread B-load width: 16-byte loads hit the
+  // full cache line (0.92, the calibrated MARLIN value); halving the vector
+  // width halves the transaction size and costs bandwidth on GDDR6.
+  auto mem_eff_for_width = [](int tile_n) {
+    if (tile_n >= 64) return 0.92;
+    if (tile_n >= 32) return 0.78;  // 8-byte loads
+    if (tile_n >= 16) return 0.62;  // 4-byte loads
+    return 0.45;
+  };
+
+  Table table({"layout", "warps", "warp tile", "TC util", "B-load bytes/thr",
+               "mem eff", "est. time [ms]"});
+  for (const int warps : {2, 4, 8, 16}) {
+    struct Cfg {
+      const char* name;
+      int tile_n;
+    };
+    const Cfg configs[2] = {{"N-split", 256 / warps},
+                            {"K-split w64 (MARLIN)", 64}};
+    for (const auto& c : configs) {
+      gpusim::WarpExecParams wp;
+      wp.num_warps = warps;
+      wp.warp_tile_m = 16;
+      wp.warp_tile_n = c.tile_n;
+      const double util = gpusim::tensor_core_utilization(d, wp);
+      const double mem_eff = mem_eff_for_width(c.tile_n);
+
+      core::MarlinPerfParams perf;
+      perf.mem_efficiency = mem_eff;
+      perf.tc_efficiency_cap = std::min(0.90, util);
+      core::KernelConfig kcfg;
+      kcfg.n_sm_tile = 256;
+      kcfg.num_warps = warps;
+      const auto est = core::marlin_estimate(bench::fig1_problem(16), kcfg,
+                                             d, clock, perf);
+      table.add_row({c.name, std::to_string(warps),
+                     "16x" + std::to_string(c.tile_n),
+                     format_double(util, 3),
+                     std::to_string(std::min(16, c.tile_n / 4)),
+                     format_double(mem_eff, 2),
+                     format_double(est.seconds * 1e3, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaway: the fixed-width-64 K-split keeps 16-byte loads "
+               "and full tensor-pipe utilisation at 8+ warps; direct "
+               "N-splitting at 8-16 warps narrows tiles, shrinks the "
+               "per-thread load vector and stalls the pipes — exactly the "
+               "paper's argument for Figure 4.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Extension (paper §6, QQQ follow-up): W4A8 — INT8 activations on the
+// INT8 tensor pipes. Batch sweep on A100 vs FP16 and dense MARLIN: W4A8
+// extends the speedup window past the W4A16 compute wall.
+
+#include <iostream>
+
+#include "baselines/kernel_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marlin;
+  std::cout << "=== Extension: W4A8 (INT8 activations) on A100, "
+               "8192 x 8192 ===\n\n";
+  const auto d = gpusim::a100_80g();
+  const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
+  const auto fp16 = baselines::make_kernel_model("fp16");
+  const auto marlin = baselines::make_kernel_model("marlin");
+  const auto w4a8 = baselines::make_kernel_model("marlin-w4a8");
+
+  Table table({"batch", "fp16", "marlin (W4A16)", "marlin-w4a8",
+               "W4A16 speedup", "W4A8 speedup"});
+  for (index_t m = 1; m <= 4096; m *= 4) {
+    const core::MatmulProblem p{m, 8192, 8192, 128, false};
+    const double tf = fp16->estimate(p, d, clock).seconds;
+    const double tm = marlin->estimate(p, d, clock).seconds;
+    const double tw = w4a8->estimate(p, d, clock).seconds;
+    table.add_row({std::to_string(m), format_seconds(tf),
+                   format_seconds(tm), format_seconds(tw),
+                   format_double(tf / tm, 2), format_double(tf / tw, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nTakeaway: W4A16 speedup collapses once the FP16 tensor "
+               "pipes saturate (batch ~64+); W4A8 keeps a ~1.5-2x edge deep "
+               "into the compute-bound regime — the reason QQQ extended "
+               "MARLIN this way.\n";
+  return 0;
+}

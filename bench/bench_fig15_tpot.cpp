@@ -1,0 +1,65 @@
+// Figure 15: serving benchmark — TPOT (time per output token) for
+// Llama-2-7B on RTX A6000 under Poisson client load at 1 / 2.5 / 5 / 10
+// QPS (64 input, 64 output tokens), vLLM FP16 vs MARLIN vs Sparse-MARLIN.
+//
+// Paper numbers: FP16 22.47/24.32/27.26/37.00 ms; MARLIN 8.02/8.59/9.32/
+// 11.38 ms (2.80-3.25x); Sparse-MARLIN 6.78/7.21/7.79/9.45 ms (3.31-3.92x).
+// Note the speedup *increases* with QPS: the faster kernel drains queues
+// sooner and therefore observes smaller average batches.
+
+#include <iostream>
+
+#include "serve/server_sim.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marlin;
+  using serve::WeightFormat;
+  std::cout << "=== Figure 15: Llama-2-7B TPOT on RTX A6000 "
+               "(64 in / 64 out) ===\n\n";
+
+  const std::vector<double> qps_values{1.0, 2.5, 5.0, 10.0};
+  Table table({"engine \\ QPS", "1.0", "2.5", "5.0", "10.0"});
+  Table batch_table({"mean batch \\ QPS", "1.0", "2.5", "5.0", "10.0"});
+
+  std::vector<std::vector<double>> tpot(3);
+  int e = 0;
+  for (const auto fmt : {WeightFormat::kFp16, WeightFormat::kMarlin,
+                         WeightFormat::kSparseMarlin}) {
+    serve::EngineConfig cfg;
+    cfg.model = serve::llama2_7b();
+    cfg.gpu = gpusim::rtxa6000();
+    cfg.format = fmt;
+    const serve::Engine engine(cfg);
+
+    std::vector<double> row, brow;
+    for (const double qps : qps_values) {
+      serve::ServingConfig sc;
+      sc.qps = qps;
+      sc.duration_s = 120.0;
+      const auto m = serve::simulate_serving(engine, sc);
+      row.push_back(m.mean_tpot_ms);
+      brow.push_back(m.mean_batch);
+    }
+    tpot[static_cast<std::size_t>(e++)] = row;
+    table.add_row_numeric(serve::to_string(fmt), row, 2);
+    batch_table.add_row_numeric(serve::to_string(fmt), brow, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nSpeedup vs FP16:\n";
+  Table sp({"engine \\ QPS", "1.0", "2.5", "5.0", "10.0"});
+  for (int k = 1; k < 3; ++k) {
+    std::vector<double> row;
+    for (std::size_t i = 0; i < qps_values.size(); ++i) {
+      row.push_back(tpot[0][i] / tpot[static_cast<std::size_t>(k)][i]);
+    }
+    sp.add_row_numeric(k == 1 ? "vLLM MARLIN" : "vLLM Sparse-MARLIN", row, 2);
+  }
+  sp.print(std::cout);
+  std::cout << "\nAverage decode batch observed by the engine (the paper's "
+               "mechanism for speedup growing with QPS):\n";
+  batch_table.print(std::cout);
+  std::cout << "\nPaper reference: FP16 22.5->37.0 ms; MARLIN ~2.8-3.3x; "
+               "Sparse-MARLIN ~3.3-3.9x, gains growing with QPS.\n";
+  return 0;
+}

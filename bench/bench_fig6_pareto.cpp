@@ -1,0 +1,111 @@
+// Figure 6: Pareto curve of Llama-2 models quantized to the MARLIN format
+// via (our) GPTQ — perplexity vs model size in bits.
+//
+// Substitution (DESIGN.md §1): GPTQ/RTN run for real on synthetic layers
+// with LLM-like statistics; the measured layer-output NMSE is mapped to
+// perplexity through a proxy anchored once at the INT4 g=128 GPTQ point
+// (+4% over FP16, consistent with published Llama-2 GPTQ results). The
+// paper's headline — "~3.33x smaller at the same perplexity" — is then
+// computed from the resulting Pareto front.
+
+#include <cmath>
+#include <iostream>
+
+#include "eval/metrics.hpp"
+#include "eval/proxy.hpp"
+#include "eval/synthetic.hpp"
+#include "quant/gptq.hpp"
+#include "quant/uniform.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace marlin;
+  std::cout << "=== Figure 6: perplexity vs model size (MARLIN GPTQ) ===\n\n";
+
+  // Measure reconstruction error per quantization setting on a synthetic
+  // layer (K=256 keeps GPTQ fast; errors transfer as ratios).
+  const auto layer = eval::make_synthetic_layer(256, 128, 768, 1234);
+  quant::HessianAccumulator acc(256);
+  acc.add_sequence(layer.calib.view());
+
+  struct Setting {
+    std::string name;
+    int bits;
+    index_t group;
+    bool clip;
+  };
+  const std::vector<Setting> settings{
+      {"INT4 g=128 (MARLIN)", 4, 128, true},
+      {"INT4 per-col", 4, quant::kPerColumn, true},
+      {"INT3 g=128", 3, 128, true},
+  };
+
+  std::vector<double> nmse;
+  for (const auto& s : settings) {
+    quant::GptqConfig cfg;
+    cfg.quant.bits = s.bits;
+    cfg.quant.group_size = s.group;
+    cfg.quant.clip_search = s.clip;
+    const auto r = quant::gptq_quantize(layer.w.view(), acc, cfg);
+    nmse.push_back(eval::layer_output_nmse(
+        layer.w.view(), r.weights.dequantize().view(), layer.calib.view()));
+  }
+
+  // Anchor: the INT4 g=128 point costs ~4% perplexity on Llama-2-7B.
+  const double kappa = eval::calibrate_kappa(5.47, 5.47 * 1.04, nmse[0]);
+  std::cout << "proxy anchor: nmse=" << format_double(nmse[0], 5)
+            << " -> +4% PPL (kappa=" << format_double(kappa, 2) << ")\n\n";
+
+  Table table({"model", "config", "bits/weight", "size (GB)", "PPL (proxy)"});
+  struct Point {
+    double gb;
+    double ppl;
+  };
+  std::vector<Point> fp16_points, q_points;
+  for (const auto& ref : eval::llama2_ppl_refs()) {
+    const double params = ref.params_billions * 1e9;
+    table.add_row({ref.name, "FP16", "16.000",
+                   format_double(params * 2 / 1e9, 2),
+                   format_double(ref.fp16_ppl, 3)});
+    fp16_points.push_back({params * 2 / 1e9, ref.fp16_ppl});
+    for (std::size_t i = 0; i < settings.size(); ++i) {
+      const double bits =
+          settings[i].bits +
+          (settings[i].group == quant::kPerColumn ? 16.0 / 4096.0
+                                                  : 16.0 / 128.0);
+      const double ppl = eval::perplexity_proxy(ref.fp16_ppl,
+                                                nmse[i], kappa);
+      table.add_row({ref.name, settings[i].name, format_double(bits, 3),
+                     format_double(params * bits / 8 / 1e9, 2),
+                     format_double(ppl, 3)});
+      if (i == 0) q_points.push_back({params * bits / 8 / 1e9, ppl});
+    }
+  }
+  table.print(std::cout);
+
+  // Iso-perplexity compression: for each quantized model, interpolate the
+  // FP16 size that would reach the same perplexity (log-size vs log-ppl).
+  double ratio_sum = 0;
+  int ratio_n = 0;
+  for (const auto& q : q_points) {
+    for (std::size_t i = 0; i + 1 < fp16_points.size(); ++i) {
+      const auto& lo = fp16_points[i + 1];  // bigger model, lower ppl
+      const auto& hi = fp16_points[i];
+      if (q.ppl <= hi.ppl && q.ppl >= lo.ppl) {
+        const double t = (std::log(q.ppl) - std::log(hi.ppl)) /
+                         (std::log(lo.ppl) - std::log(hi.ppl));
+        const double fp16_gb =
+            std::exp(std::log(hi.gb) +
+                     t * (std::log(lo.gb) - std::log(hi.gb)));
+        ratio_sum += fp16_gb / q.gb;
+        ++ratio_n;
+      }
+    }
+  }
+  if (ratio_n > 0) {
+    std::cout << "\niso-perplexity compression vs FP16 Pareto: "
+              << format_double(ratio_sum / ratio_n, 2)
+              << "x smaller (paper: ~3.33x; lossless bound 3.87x)\n";
+  }
+  return 0;
+}

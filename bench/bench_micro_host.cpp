@@ -1,0 +1,165 @@
+// google-benchmark micro-benchmarks of the host-side hot paths: packing,
+// the lop3 dequant trick, weight repacking, and the functional kernels.
+// These measure real work on this machine (not the GPU timing model).
+
+#include <benchmark/benchmark.h>
+
+#include "core/marlin_kernel.hpp"
+#include "core/sparse_kernel.hpp"
+#include "baselines/fp16_gemm.hpp"
+#include "layout/repack.hpp"
+#include "quant/dequant_trick.hpp"
+#include "quant/gptq.hpp"
+#include "quant/pack.hpp"
+#include "quant/uniform.hpp"
+#include "eval/synthetic.hpp"
+#include "sparse/compressed.hpp"
+#include "sparse/two_four.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace marlin;
+
+std::vector<std::uint8_t> random_codes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.uniform_int(16));
+  return codes;
+}
+
+void BM_Pack8Interleaved(benchmark::State& state) {
+  const auto codes = random_codes(8 * 4096, 1);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < codes.size(); i += 8) {
+      acc ^= quant::pack8_interleaved(
+          std::span<const std::uint8_t>(codes).subspan(i, 8));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_Pack8Interleaved);
+
+void BM_Dequant8Trick(benchmark::State& state) {
+  const auto codes = random_codes(8 * 4096, 2);
+  const auto packed = quant::pack_interleaved(codes);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const auto reg : packed) {
+      for (const auto h : quant::dequant8(reg)) acc += h.bits();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_Dequant8Trick);
+
+void BM_DequantNaive(benchmark::State& state) {
+  const auto codes = random_codes(8 * 4096, 3);
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (const auto c : codes) acc += quant::dequant_naive_code(c).bits();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_DequantNaive);
+
+quant::QuantizedWeights bench_qweights(index_t k, index_t n) {
+  Rng rng(7);
+  Matrix<float> w(k, n);
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      w(i, j) = static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+  quant::QuantConfig cfg;
+  cfg.group_size = 64;
+  return quant::quantize_rtn(w.view(), cfg);
+}
+
+void BM_MarlinRepack(benchmark::State& state) {
+  const auto q = bench_qweights(256, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::marlin_repack(q));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+BENCHMARK(BM_MarlinRepack);
+
+void BM_FunctionalMarlinMatmul(benchmark::State& state) {
+  const index_t m = state.range(0);
+  const auto q = bench_qweights(256, 256);
+  const auto mw = layout::marlin_repack(q);
+  Rng rng(8);
+  Matrix<Half> a(m, 256);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < 256; ++j) {
+      a(i, j) = Half(static_cast<float>(rng.normal()));
+    }
+  }
+  core::KernelConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::marlin_matmul(a.view(), mw, cfg, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * m * 256 * 256 * 2);
+}
+BENCHMARK(BM_FunctionalMarlinMatmul)->Arg(1)->Arg(16);
+
+void BM_Fp16Gemm(benchmark::State& state) {
+  Rng rng(9);
+  Matrix<Half> a(16, 256), b(256, 256);
+  for (index_t i = 0; i < 16; ++i) {
+    for (index_t j = 0; j < 256; ++j) {
+      a(i, j) = Half(static_cast<float>(rng.normal()));
+    }
+  }
+  for (index_t i = 0; i < 256; ++i) {
+    for (index_t j = 0; j < 256; ++j) {
+      b(i, j) = Half(static_cast<float>(rng.normal()));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::fp16_gemm(a.view(), b.view()));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 256 * 256 * 2);
+}
+BENCHMARK(BM_Fp16Gemm);
+
+void BM_GptqQuantize(benchmark::State& state) {
+  const auto layer = eval::make_synthetic_layer(128, 64, 512, 10);
+  quant::HessianAccumulator acc(128);
+  acc.add_sequence(layer.calib.view());
+  const auto h = acc.hessian();
+  quant::GptqConfig cfg;
+  cfg.quant.group_size = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::gptq_quantize(layer.w.view(), h, cfg));
+  }
+}
+BENCHMARK(BM_GptqQuantize);
+
+void BM_Compress24(benchmark::State& state) {
+  const auto q = bench_qweights(256, 256);
+  auto qz = q;
+  const auto mask = sparse::prune_24_magnitude(q.dequantize().view());
+  for (index_t i = 0; i < 256; ++i) {
+    for (index_t j = 0; j < 256; ++j) {
+      if (!mask.keep(i, j)) qz.codes(i, j) = 8;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::compress_24(qz, mask));
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+BENCHMARK(BM_Compress24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#pragma once
+// Shared helpers for the figure/table benchmark binaries.
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/kernel_model.hpp"
+#include "core/problem.hpp"
+#include "gpusim/clock.hpp"
+#include "gpusim/device.hpp"
+#include "util/table.hpp"
+
+namespace marlin::bench {
+
+/// The paper's Figure 1/10/12/13 matrix: "16bit x 4bit (group=128) mul with
+/// 72k x 18k matrix" — K = 18432 (reduction), N = 73728 (output).
+inline core::MatmulProblem fig1_problem(index_t m) {
+  return {m, 18432, 73728, 128, false};
+}
+
+inline const std::vector<index_t>& fig1_batches() {
+  static const std::vector<index_t> b{1, 2, 4, 8, 16, 32, 64, 128};
+  return b;
+}
+
+/// Prints one speedup-over-FP16 row per kernel, one column per batch size —
+/// the exact series of the corresponding paper figure.
+inline void print_speedup_over_fp16(
+    std::ostream& os, const std::string& title,
+    const gpusim::DeviceSpec& device, gpusim::ClockMode mode,
+    const std::vector<std::string>& kernels,
+    const std::vector<index_t>& batches,
+    const std::function<core::MatmulProblem(index_t)>& problem) {
+  const gpusim::ClockModel clock{mode};
+  const auto fp16 = baselines::make_kernel_model("fp16");
+
+  os << title << "\n";
+  std::vector<std::string> header{"kernel \\ batch"};
+  for (const auto m : batches) header.push_back(std::to_string(m));
+  Table table(header);
+
+  for (const auto& name : kernels) {
+    const auto k = baselines::make_kernel_model(name);
+    std::vector<double> row;
+    for (const auto m : batches) {
+      const auto p = problem(m);
+      row.push_back(fp16->estimate(p, device, clock).seconds /
+                    k->estimate(p, device, clock).seconds);
+    }
+    table.add_row_numeric(name, row, 2);
+  }
+  table.print(os);
+  os << "\n";
+}
+
+}  // namespace marlin::bench

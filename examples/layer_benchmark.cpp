@@ -1,0 +1,64 @@
+// Layer benchmark explorer: estimate any kernel on any layer shape and GPU.
+//
+//   $ ./layer_benchmark --device a10 --k 18432 --n 73728 --m 16
+//   $ ./layer_benchmark --device a100 --model llama-2-7b --m 32 --base-clock
+//
+// With --model, every linear layer of one transformer block is shown;
+// otherwise the explicit --k/--n shape is used.
+
+#include <iostream>
+
+#include "baselines/kernel_model.hpp"
+#include "serve/model_config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace marlin;
+  const CliArgs args(argc, argv);
+  const auto device = gpusim::device_by_name(
+      args.get_string("device", "a10"));
+  const index_t m = args.get_int("m", 16);
+  const index_t group = args.get_int("group", 128);
+  const gpusim::ClockModel clock{args.get_bool("base-clock", false)
+                                     ? gpusim::ClockMode::kLockedBase
+                                     : gpusim::ClockMode::kBoost};
+
+  std::vector<serve::LayerShape> shapes;
+  if (args.has("model")) {
+    const auto model = serve::model_by_name(args.get_string("model", ""));
+    shapes = serve::block_linear_layers(model);
+    std::cout << "layers of one " << model.name << " block, batch " << m
+              << ", " << device.name << "\n\n";
+  } else {
+    shapes.push_back({"custom", args.get_int("k", 18432),
+                      args.get_int("n", 73728)});
+    std::cout << "custom layer, batch " << m << ", " << device.name
+              << "\n\n";
+  }
+
+  const std::vector<std::string> kernels{"fp16",      "marlin",
+                                         "sparse-marlin", "torch-int4",
+                                         "exllamav2", "awq", "bitsandbytes"};
+  Table table({"layer", "kernel", "time", "TFLOP/s", "GB moved",
+               "speedup vs fp16"});
+  for (const auto& shape : shapes) {
+    const core::MatmulProblem p{m, shape.k, shape.n, group, false};
+    double t_fp16 = 0;
+    for (const auto& name : kernels) {
+      const auto est = baselines::make_kernel_model(name)->estimate(
+          p, device, clock);
+      if (name == "fp16") t_fp16 = est.seconds;
+      table.add_row(
+          {shape.name + " " + std::to_string(shape.k) + "x" +
+               std::to_string(shape.n),
+           name, format_seconds(est.seconds),
+           format_double(est.achieved_tflops(), 1),
+           format_double(static_cast<double>(est.traffic.gmem_total()) / 1e9,
+                         2),
+           format_double(t_fp16 / est.seconds, 2)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

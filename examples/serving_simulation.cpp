@@ -1,0 +1,52 @@
+// Serving simulation: a vLLM-style server under Poisson client load,
+// comparing weight formats — the paper's §5.2 client-count experiment as a
+// runnable tool.
+//
+//   $ ./serving_simulation --model llama-2-7b --device rtxa6000 --qps 5
+//   $ ./serving_simulation --model llama-2-70b --device a100 --gpus 4
+
+#include <iostream>
+
+#include "serve/server_sim.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace marlin;
+  const CliArgs args(argc, argv);
+  serve::EngineConfig ecfg;
+  ecfg.model = serve::model_by_name(
+      args.get_string("model", "llama-2-7b"));
+  ecfg.gpu = gpusim::device_by_name(args.get_string("device", "rtxa6000"));
+  ecfg.num_gpus = static_cast<int>(args.get_int("gpus", 1));
+
+  serve::ServingConfig scfg;
+  scfg.qps = args.get_double("qps", 2.5);
+  scfg.duration_s = args.get_double("duration", 120.0);
+  scfg.input_tokens = args.get_int("input-tokens", 64);
+  scfg.output_tokens = args.get_int("output-tokens", 64);
+
+  std::cout << ecfg.model.name << " on " << ecfg.num_gpus << "x "
+            << ecfg.gpu.name << ", " << scfg.qps << " QPS, "
+            << scfg.input_tokens << " in / " << scfg.output_tokens
+            << " out\n\n";
+
+  Table table({"engine", "TPOT ms", "p90 TPOT", "TTFT ms", "p90 TTFT",
+               "mean batch", "completed", "weights/GPU"});
+  for (const auto fmt :
+       {serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,
+        serve::WeightFormat::kSparseMarlin}) {
+    ecfg.format = fmt;
+    const serve::Engine engine(ecfg);
+    const auto m = serve::simulate_serving(engine, scfg);
+    table.add_row({serve::to_string(fmt), format_double(m.mean_tpot_ms, 2),
+                   format_double(m.p90_tpot_ms, 2),
+                   format_double(m.mean_ttft_ms, 2),
+                   format_double(m.p90_ttft_ms, 2),
+                   format_double(m.mean_batch, 1),
+                   std::to_string(m.completed),
+                   format_bytes(engine.weight_bytes_per_gpu())});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+// Timing models of the open-source 4-bit kernels paper Figure 1 compares
+// against. Each model encodes the *architectural reason* the kernel
+// degrades with batch size, with constants calibrated once against the
+// published curves (same constants for every figure):
+//
+//  * All four dequantise B inside their GEMM main loop with a fixed,
+//    small M-tile. A batch of M' = ceil(M/16)*16 rows therefore re-streams
+//    and re-dequantises B ceil(M'/m_tile) times — the dominant collapse
+//    mechanism once M exceeds the tile height (B is hundreds of MB, far
+//    beyond L2, so re-reads hit GMEM).
+//  * Dequantisation runs on CUDA cores and is only partially overlapped
+//    with math (no MARLIN-style static pipeline), adding a cost
+//    proportional to the dequantised volume.
+//  * Tensor-core utilisation is capped well below CUTLASS because the
+//    interleaved dequant work starves the MMA pipes (bitsandbytes performs
+//    its multiply-accumulate on CUDA cores entirely).
+//
+// At locked base clock (paper Fig. 10) CUDA-core dequant slows down
+// proportionally while GMEM bandwidth does not — which is exactly why the
+// paper observes prior kernels losing *relative* performance at base clock
+// while MARLIN (fully overlapped) is unaffected.
+
+#include "baselines/kernel_model.hpp"
+
+namespace marlin::baselines {
+
+struct ComparatorParams {
+  std::string name;
+  double mem_efficiency = 0.85;   // B-stream fraction of GMEM peak
+  index_t m_tile = 16;            // M-tile height; B re-read per tile
+  bool uses_tensor_cores = true;  // false: FP32-FMA CUDA-core math
+  double compute_efficiency = 0.5;
+  double dequant_cycles_per_weight = 4.0;  // CUDA-core ops per weight
+  double dequant_overlap = 0.7;   // fraction hidden behind mem/math
+};
+
+/// torch-nightly INT4 (tinygemm-style): decent tiles, moderate overlap.
+ComparatorParams torch_int4_params();
+/// ExLlamaV2: excellent at M<=16, fixed 16-row tile, weak TC utilisation.
+ComparatorParams exllamav2_params();
+/// AWQ GEMM kernel: similar structure, heavier dequant path.
+ComparatorParams awq_params();
+/// bitsandbytes NF4-style: double dequant on CUDA cores, no tensor cores.
+ComparatorParams bitsandbytes_params();
+
+class ComparatorModel final : public KernelModel {
+ public:
+  explicit ComparatorModel(ComparatorParams params)
+      : params_(std::move(params)) {}
+  [[nodiscard]] std::string name() const override { return params_.name; }
+  [[nodiscard]] gpusim::KernelEstimate estimate(
+      const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
+      const gpusim::ClockModel& clock) const override;
+
+ private:
+  ComparatorParams params_;
+};
+
+}  // namespace marlin::baselines

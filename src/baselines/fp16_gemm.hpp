@@ -1,0 +1,34 @@
+#pragma once
+// FP16 dense GEMM baseline — what PyTorch dispatches to CUTLASS
+// (paper Figures 1/9/10/12/13 measure speedup *over this*).
+
+#include "baselines/kernel_model.hpp"
+#include "util/half.hpp"
+#include "util/matrix.hpp"
+
+namespace marlin::baselines {
+
+struct Fp16PerfParams {
+  double mem_efficiency = 0.92;  // streaming efficiency of a tuned GEMM
+  double tc_efficiency = 0.95;   // CUTLASS tensor-core utilisation
+  index_t tile_m = 128;          // threadblock tile (wave quantisation)
+  index_t tile_n = 128;
+};
+
+class Fp16CutlassModel final : public KernelModel {
+ public:
+  explicit Fp16CutlassModel(Fp16PerfParams params = {}) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "fp16"; }
+  [[nodiscard]] gpusim::KernelEstimate estimate(
+      const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
+      const gpusim::ClockModel& clock) const override;
+
+ private:
+  Fp16PerfParams params_;
+};
+
+/// Functional FP16 GEMM with FP32 accumulation (reference baseline for the
+/// functional kernel tests and the quickstart example).
+Matrix<Half> fp16_gemm(ConstMatrixView<Half> a, ConstMatrixView<Half> b);
+
+}  // namespace marlin::baselines

@@ -1,0 +1,35 @@
+#pragma once
+// Common interface for every kernel timing model the benchmarks compare:
+// MARLIN, Sparse-MARLIN, the FP16 CUTLASS-like baseline, the four
+// open-source 4-bit comparators, and the ideal roofline bounds.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "gpusim/clock.hpp"
+#include "gpusim/estimate.hpp"
+
+namespace marlin::baselines {
+
+class KernelModel {
+ public:
+  virtual ~KernelModel() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual gpusim::KernelEstimate estimate(
+      const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
+      const gpusim::ClockModel& clock) const = 0;
+};
+
+using KernelModelPtr = std::unique_ptr<KernelModel>;
+
+/// "fp16", "marlin", "sparse-marlin", "torch-int4", "exllamav2", "awq",
+/// "bitsandbytes", "ideal-dense", "ideal-int4", "ideal-sparse".
+KernelModelPtr make_kernel_model(const std::string& name);
+
+/// The comparator set of paper Figure 1 (torch-int4, exllamav2, awq,
+/// bitsandbytes), in plot order.
+std::vector<KernelModelPtr> open_source_comparators();
+
+}  // namespace marlin::baselines

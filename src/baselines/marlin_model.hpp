@@ -1,0 +1,43 @@
+#pragma once
+// KernelModel adapters over the core MARLIN / Sparse-MARLIN estimators so
+// benchmarks can treat every kernel uniformly.
+
+#include "baselines/kernel_model.hpp"
+#include "core/timing.hpp"
+
+namespace marlin::baselines {
+
+class MarlinModel final : public KernelModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "marlin"; }
+  [[nodiscard]] gpusim::KernelEstimate estimate(
+      const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
+      const gpusim::ClockModel& clock) const override {
+    return core::marlin_estimate_auto(p, d, clock);
+  }
+};
+
+class SparseMarlinModel final : public KernelModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "sparse-marlin"; }
+  [[nodiscard]] gpusim::KernelEstimate estimate(
+      const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
+      const gpusim::ClockModel& clock) const override {
+    return core::sparse_marlin_estimate_auto(p, d, clock);
+  }
+};
+
+/// W4A8 extension (paper §6 / QQQ): INT8 activations on the INT8 pipes.
+class MarlinW4A8Model final : public KernelModel {
+ public:
+  [[nodiscard]] std::string name() const override { return "marlin-w4a8"; }
+  [[nodiscard]] gpusim::KernelEstimate estimate(
+      const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
+      const gpusim::ClockModel& clock) const override {
+    core::MatmulProblem w4a8 = p;
+    w4a8.activation_bits = 8;
+    return core::marlin_estimate_auto(w4a8, d, clock);
+  }
+};
+
+}  // namespace marlin::baselines

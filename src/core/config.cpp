@@ -1,0 +1,52 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+namespace marlin::core {
+
+double smem_stage_bytes(const MatmulProblem& p, const KernelConfig& cfg) {
+  const double m_eff = static_cast<double>(std::min<index_t>(p.m_padded(), cfg.m_block));
+  const double width = static_cast<double>(std::min<index_t>(cfg.n_sm_tile, std::max<index_t>(64, p.n)));
+  const double b_bytes = static_cast<double>(cfg.k_sm_tile) * width *
+                         p.weight_bits_per_element() / 8.0;
+  const double a_bytes =
+      m_eff * static_cast<double>(cfg.k_sm_tile) * (p.activation_bits / 8.0);
+  return b_bytes + a_bytes;
+}
+
+int max_pipeline_depth(const MatmulProblem& p, const KernelConfig& cfg,
+                       const gpusim::DeviceSpec& d) {
+  const double stage = smem_stage_bytes(p, cfg);
+  int depth = static_cast<int>(d.smem_per_sm_bytes / stage);
+  depth -= depth % 2;  // even, so the unrolled indices realign (§3.4)
+  return std::max(2, depth);
+}
+
+KernelConfig choose_config(const MatmulProblem& p,
+                           const gpusim::DeviceSpec& d) {
+  KernelConfig cfg;
+  // Prefer the widest tile: it maximises Eq. (1) headroom and amortises the
+  // cp.async latency over larger transfers. Narrow tiles only when the
+  // output dim is too small to feed every SM with wide ones.
+  cfg.n_sm_tile = 64;
+  for (const index_t n_sm : {256, 128}) {
+    if (p.n < n_sm) continue;
+    const index_t tiles =
+        ((p.n + n_sm - 1) / n_sm) * ((p.k + 63) / 64);
+    if (tiles >= d.num_sms) {
+      cfg.n_sm_tile = n_sm;
+      break;
+    }
+  }
+  cfg.n_sm_tile = std::min<index_t>(cfg.n_sm_tile, std::max<index_t>(64, p.n));
+
+  // 8 warps when the tile offers enough slab-level parallelism: a tile has
+  // n_subtiles * 4 (slabs) independent warp slots.
+  const int slots = cfg.n_subtiles(std::min(cfg.n_sm_tile, p.n)) * 4;
+  cfg.num_warps = std::min(8, slots);
+  cfg.pipeline_depth = std::min(4, max_pipeline_depth(p, cfg, d));
+  cfg.m_block = 64;
+  return cfg;
+}
+
+}  // namespace marlin::core

@@ -1,0 +1,51 @@
+#pragma once
+// MARLIN kernel launch configuration and the shape/device heuristic that
+// selects it (paper §3.4 "Bound By Weight Loading" and "Warp Layout").
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+
+#include "core/problem.hpp"
+
+namespace marlin::core {
+
+struct KernelConfig {
+  index_t n_sm_tile = 256;  // N_sm in {64, 128, 256}
+  index_t k_sm_tile = 64;   // K_sm — fixed: 16-byte loads need K >= 64
+  int num_warps = 8;        // warps cooperating on one C_sm tile
+  int pipeline_depth = 4;   // P (even, see §3.4)
+  index_t m_block = 64;     // virtual-replication batch block for M >> 64
+  /// Cap on SMs used by the timing model (0 = all). For tiny tile grids the
+  /// tuner prefers a column-aligned launch over splitting every column into
+  /// many serially-reduced stripes.
+  int sm_limit = 0;
+
+  /// Warp layout per Figure 4: fixed warp tile width 64, remaining warps
+  /// split over K_sm (16-row slabs).
+  [[nodiscard]] int n_subtiles(index_t tile_width) const {
+    return static_cast<int>(tile_width / 64);
+  }
+};
+
+/// Shared-memory bytes of ONE pipeline stage: the B tile (packed codes +
+/// scales) plus the A tile (m_eff x K_sm halves, XOR-swizzled in place).
+/// The paper picks P=4 because "this seemed sufficient ... while fitting
+/// into shared memory even for M = 64" — P stages must satisfy
+/// P * stage_bytes <= smem_per_sm.
+[[nodiscard]] double smem_stage_bytes(const MatmulProblem& p,
+                                      const KernelConfig& cfg);
+
+/// Largest even pipeline depth whose buffers fit in shared memory (even,
+/// per §3.4, so the unrolled pipeline and register-buffer indices realign
+/// every P iterations).
+[[nodiscard]] int max_pipeline_depth(const MatmulProblem& p,
+                                     const KernelConfig& cfg,
+                                     const gpusim::DeviceSpec& d);
+
+/// Pick the widest N_sm in {64, 128, 256} with enough column tiles to feed
+/// every SM, warps = 8 capped by the available slab-level parallelism, and
+/// pipeline depth 4 clamped to the shared-memory budget.
+[[nodiscard]] KernelConfig choose_config(const MatmulProblem& p,
+                                         const gpusim::DeviceSpec& d);
+
+}  // namespace marlin::core

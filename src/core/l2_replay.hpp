@@ -1,0 +1,29 @@
+#pragma once
+// Replays the striped MARLIN schedule's memory accesses through the L2
+// cache simulator — the bridge between the schedule layer and the cache
+// model that quantifies the paper's §3.4 claim: streaming B with the
+// cp.async `evict_first` hint keeps the repeatedly re-read A operand
+// L2-resident; without the hint the B stream evicts it.
+
+#include "core/config.hpp"
+#include "core/problem.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/l2cache.hpp"
+
+namespace marlin::core {
+
+struct L2ReplayResult {
+  gpusim::CacheStats a_stats;  // A block re-reads (excluding first touch)
+  gpusim::CacheStats b_stats;  // B tile stream
+  [[nodiscard]] double a_hit_rate() const { return a_stats.hit_rate(); }
+};
+
+/// Replays tile-by-tile, interleaving the SM stripes round-robin (the
+/// closest serial approximation of concurrent SMs sharing one L2).
+/// `evict_first_b` selects the hint used for the B stream.
+L2ReplayResult replay_schedule_through_l2(const MatmulProblem& p,
+                                          const KernelConfig& cfg,
+                                          const gpusim::DeviceSpec& d,
+                                          bool evict_first_b);
+
+}  // namespace marlin::core

@@ -1,0 +1,326 @@
+#include "core/marlin_kernel.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "layout/fragment.hpp"
+#include "quant/dequant_trick.hpp"
+
+namespace marlin::core {
+
+namespace {
+
+using layout::MarlinWeights;
+
+/// One SM's partial result for one (m_block, column) pair.
+struct ColumnPartial {
+  index_t key = 0;  // m_block * tile_cols + col
+  Matrix<float> acc;
+};
+
+struct SmOutput {
+  std::vector<ColumnPartial> partials;
+  gpusim::TrafficCounters traffic;
+};
+
+struct Grid {
+  index_t m = 0, k = 0, n = 0;
+  index_t tile_rows = 0, tile_cols = 0, m_blocks = 0;
+  index_t n_sm = 0;  // configured tile width
+
+  [[nodiscard]] index_t tile_width(index_t col) const {
+    return std::min(n_sm, n - col * n_sm);
+  }
+  [[nodiscard]] index_t m_rows(index_t m_block, index_t m_block_size) const {
+    return std::min<index_t>(m_block_size, m - m_block * m_block_size);
+  }
+};
+
+/// Dequantise the 16 x 64 weight block (slab, chunk) from the packed
+/// per-thread fragments, applying grouped scales if configured.
+void assemble_weight_block(const MarlinWeights& b, index_t slab, index_t chunk,
+                           bool grouped, float out[16][64]) {
+  const bool asym = b.asymmetric();
+  for (int lane = 0; lane < 32; ++lane) {
+    const int tg = lane >> 2;
+    for (int block = 0; block < 4; ++block) {
+      const std::uint32_t reg =
+          b.packed[b.packed_index(slab, chunk, lane, block)];
+      const auto vals = quant::dequant8(reg);
+      for (int w = 0; w < 8; ++w) {
+        const layout::Coord c = layout::weight_block16_coord(lane, w);
+        const int col = block * 16 + c.col;
+        float v = vals[static_cast<std::size_t>(w)].to_float();
+        const index_t g = b.cfg.group_of_row(slab * 16 + c.row);
+        const int packed_pos = tg * 8 + 2 * block + ((w & 4) ? 1 : 0);
+        if (asym) {
+          // AWQ format: re-centre the signed code on the stored zero point.
+          v += 8.0f -
+               static_cast<float>(b.zeros_packed(g, chunk * 64 + packed_pos));
+        }
+        if (grouped) {
+          v *= b.scales_packed(g, chunk * 64 + packed_pos).to_float();
+        }
+        out[c.row][col] = v;
+      }
+    }
+  }
+}
+
+/// Logarithmic shared-memory reduction of the warp partials of one subtile
+/// (paper: Harris 2007), recording SMEM traffic.
+void warp_tree_reduce(std::vector<Matrix<float>>& parts,
+                      gpusim::TrafficCounters& traffic) {
+  index_t active = static_cast<index_t>(parts.size());
+  while (active > 1) {
+    const index_t half = (active + 1) / 2;
+    for (index_t i = 0; i + half < active; ++i) {
+      auto& dst = parts[static_cast<std::size_t>(i)];
+      const auto& src = parts[static_cast<std::size_t>(i + half)];
+      for (index_t r = 0; r < dst.rows(); ++r) {
+        for (index_t c = 0; c < dst.cols(); ++c) dst(r, c) += src(r, c);
+      }
+      const std::int64_t bytes = dst.size() * 4;
+      traffic.smem_read_bytes += bytes;
+      traffic.smem_write_bytes += bytes;
+    }
+    active = half;
+  }
+}
+
+/// Execute one SM's stripe; returns its column partials and traffic.
+SmOutput run_sm(ConstMatrixView<Half> a, const MarlinWeights& b,
+                const KernelConfig& cfg, const Grid& grid,
+                const std::vector<TileCoord>& stripe) {
+  SmOutput out;
+  const bool grouped = b.cfg.group_size != quant::kPerColumn;
+
+  const index_t scale_groups_bytes_per_tile =
+      grouped ? (64 / b.cfg.group_size + 1) * 2 : 0;  // upper bound per col
+
+  index_t cur_key = -1;
+  index_t cur_col = -1, cur_mb = -1;
+  index_t width = 0, m0 = 0, m_rows = 0;
+  int n_subtiles = 0, warps_per_sub = 0;
+  // Per warp: FP32 accumulator of its 64-wide subtile.
+  std::vector<Matrix<float>> warp_acc;
+
+  float wblock[16][64];
+
+  auto flush_column = [&]() {
+    if (cur_key < 0) return;
+    // Tree-reduce the k-split warps of each subtile, then concatenate.
+    Matrix<float> acc(m_rows, width);
+    for (int j = 0; j < n_subtiles; ++j) {
+      std::vector<Matrix<float>> parts;
+      for (int w = j; w < cfg.num_warps; w += n_subtiles) {
+        parts.push_back(std::move(warp_acc[static_cast<std::size_t>(w)]));
+      }
+      warp_tree_reduce(parts, out.traffic);
+      for (index_t r = 0; r < m_rows; ++r) {
+        for (index_t c = 0; c < 64; ++c) {
+          acc(r, j * 64 + c) = parts[0](r, c);
+        }
+      }
+    }
+    out.partials.push_back({cur_key, std::move(acc)});
+    cur_key = -1;
+  };
+
+  for (const TileCoord& t : stripe) {
+    const index_t key = t.m_block * grid.tile_cols + t.col;
+    if (key != cur_key) {
+      flush_column();
+      cur_key = key;
+      cur_col = t.col;
+      cur_mb = t.m_block;
+      width = grid.tile_width(cur_col);
+      m0 = cur_mb * cfg.m_block;
+      m_rows = grid.m_rows(cur_mb, cfg.m_block);
+      n_subtiles = static_cast<int>(width / 64);
+      MARLIN_CHECK(cfg.num_warps >= n_subtiles,
+                   "need at least one warp per 64-wide subtile");
+      warps_per_sub = cfg.num_warps / n_subtiles;
+      warp_acc.assign(static_cast<std::size_t>(cfg.num_warps), {});
+      for (auto& wa : warp_acc) wa = Matrix<float>(m_rows, 64, 0.0f);
+    }
+
+    // --- B tile load (streamed once, evict-first). ---
+    out.traffic.gmem_read_bytes += 64 * width / 2;
+    if (grouped) {
+      out.traffic.gmem_read_bytes += scale_groups_bytes_per_tile * width;
+    }
+    // --- A block re-read through L2. ---
+    out.traffic.l2_read_bytes += m_rows * 64 * 2;
+
+    // --- Tensor-core main loop: slabs x subtiles, split across warps. ---
+    const index_t k0 = t.row * 64;
+    for (int s = 0; s < 4; ++s) {  // 4 slabs of 16 reduction rows
+      const index_t slab = t.row * 4 + s;
+      for (int j = 0; j < n_subtiles; ++j) {
+        const index_t chunk = (cur_col * grid.n_sm) / 64 + j;
+        // Warp owning (slab s, subtile j) per Algorithm 1.
+        const int rank = s % warps_per_sub;
+        const int warp = j + rank * n_subtiles;
+        auto& acc = warp_acc[static_cast<std::size_t>(warp)];
+
+        assemble_weight_block(b, slab, chunk, grouped, wblock);
+        // mma.sync emulation: FP16 inputs, FP32 accumulate.
+        for (index_t r = 0; r < m_rows; ++r) {
+          const Half* arow = &a(m0 + r, k0 + s * 16);
+          float* crow = &acc(r, 0);
+          for (int kk = 0; kk < 16; ++kk) {
+            const float av = arow[kk].to_float();
+            if (av == 0.0f) continue;
+            const float* wrow = wblock[kk];
+            for (int c = 0; c < 64; ++c) crow[c] += av * wrow[c];
+          }
+        }
+      }
+    }
+  }
+  flush_column();
+  return out;
+}
+
+}  // namespace
+
+Matrix<float> reference_matmul(ConstMatrixView<Half> a,
+                               ConstMatrixView<float> w) {
+  MARLIN_CHECK(a.cols() == w.rows(), "inner dims mismatch");
+  Matrix<float> c(a.rows(), w.cols(), 0.0f);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const float av = a(i, k).to_float();
+      if (av == 0.0f) continue;
+      for (index_t j = 0; j < w.cols(); ++j) {
+        c(i, j) += av * w(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
+                               const layout::MarlinWeights& b,
+                               const KernelConfig& cfg, int num_sms,
+                               ThreadPool* pool) {
+  const index_t m = a.rows(), k = a.cols(), n = b.n;
+  MARLIN_CHECK(k == b.k, "A cols must equal B rows");
+  MARLIN_CHECK(k % 64 == 0, "K must be divisible by 64");
+  MARLIN_CHECK(n % 64 == 0, "N must be divisible by 64");
+  MARLIN_CHECK(cfg.n_sm_tile % 64 == 0, "N_sm must be a multiple of 64");
+  MARLIN_CHECK(num_sms > 0, "need at least one SM");
+
+  Grid grid;
+  grid.m = m;
+  grid.k = k;
+  grid.n = n;
+  grid.n_sm = cfg.n_sm_tile;
+  grid.tile_rows = k / 64;
+  grid.tile_cols = (n + cfg.n_sm_tile - 1) / cfg.n_sm_tile;
+  grid.m_blocks = std::max<index_t>(1, (m + cfg.m_block - 1) / cfg.m_block);
+
+  const StripedPartition part = striped_partition(
+      grid.tile_rows, grid.tile_cols, num_sms, grid.m_blocks);
+
+  // --- Phase 1: data-parallel stripe execution. ---
+  std::vector<SmOutput> outputs(static_cast<std::size_t>(num_sms));
+  auto run_one = [&](std::int64_t sm) {
+    outputs[static_cast<std::size_t>(sm)] =
+        run_sm(a, b, cfg, grid, part.sm_tiles[static_cast<std::size_t>(sm)]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, num_sms, run_one);
+  } else {
+    for (int sm = 0; sm < num_sms; ++sm) run_one(sm);
+  }
+
+  FunctionalResult res;
+  res.c = Matrix<Half>(m, n);
+  res.max_stripe_len = part.max_stripe_len();
+  res.tiles_processed = part.total_tiles();
+  // A is read from GMEM once in total (it then lives in L2; the per-tile
+  // re-reads were counted as L2 traffic by each SM).
+  res.traffic.gmem_read_bytes += m * k * 2;
+  for (const auto& o : outputs) res.traffic += o.traffic;
+
+  // Index partials: (sm, key) -> matrix.
+  std::vector<std::vector<const Matrix<float>*>> by_sm(
+      static_cast<std::size_t>(num_sms));
+  std::vector<std::vector<index_t>> keys_by_sm(
+      static_cast<std::size_t>(num_sms));
+  for (int sm = 0; sm < num_sms; ++sm) {
+    for (const auto& p : outputs[static_cast<std::size_t>(sm)].partials) {
+      by_sm[static_cast<std::size_t>(sm)].push_back(&p.acc);
+      keys_by_sm[static_cast<std::size_t>(sm)].push_back(p.key);
+    }
+  }
+  auto find_partial = [&](int sm, index_t key) -> const Matrix<float>& {
+    const auto& keys = keys_by_sm[static_cast<std::size_t>(sm)];
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == key) return *by_sm[static_cast<std::size_t>(sm)][i];
+    }
+    MARLIN_CHECK(false, "missing partial for sm " << sm << " key " << key);
+    return *by_sm[0][0];  // unreachable
+  };
+
+  const bool per_column = b.cfg.group_size == quant::kPerColumn;
+  const auto perm = layout::scale_chunk_perm();
+
+  // --- Phase 2: serial bottom-to-top FP16 reduction per column (the lock
+  // buffer protocol), directly in the output buffer. ---
+  for (index_t key = 0;
+       key < static_cast<index_t>(part.segments.size()); ++key) {
+    const auto& segs = part.segments[static_cast<std::size_t>(key)];
+    if (segs.empty()) continue;
+    const index_t mb = key / grid.tile_cols;
+    const index_t col = key % grid.tile_cols;
+    const index_t width = grid.tile_width(col);
+    const index_t m0 = mb * cfg.m_block;
+    const index_t m_rows = grid.m_rows(mb, cfg.m_block);
+    const index_t c0 = col * cfg.n_sm_tile;
+
+    bool first = true;
+    for (const ColumnSegment& seg : segs) {
+      const Matrix<float>& partial = find_partial(seg.sm, key);
+      for (index_t r = 0; r < m_rows; ++r) {
+        for (index_t c = 0; c < width; ++c) {
+          float v = partial(r, c);
+          if (per_column) {
+            // Output scaling (per-column scales applied once at write-out).
+            const index_t chunk = (c0 + c) / 64;
+            const int pos_in_chunk = static_cast<int>((c0 + c) % 64);
+            // scales_packed stores permuted columns; invert the perm.
+            int packed_pos = 0;
+            for (int p = 0; p < 64; ++p) {
+              if (perm[static_cast<std::size_t>(p)] == pos_in_chunk) {
+                packed_pos = p;
+                break;
+              }
+            }
+            v *= b.scales_packed(0, chunk * 64 + packed_pos).to_float();
+          }
+          Half& out = res.c(m0 + r, c0 + c);
+          if (first) {
+            out = Half(v);
+          } else {
+            out = Half(out.to_float() + v);  // FP16 in-place reduction
+          }
+        }
+      }
+      const std::int64_t bytes = m_rows * width * 2;
+      res.traffic.gmem_write_bytes += bytes;
+      if (!first) {
+        res.traffic.gmem_read_bytes += bytes;
+        ++res.reduction_steps;
+      }
+      first = false;
+    }
+  }
+  MARLIN_ASSERT(res.reduction_steps == part.reduction_steps());
+  return res;
+}
+
+}  // namespace marlin::core

@@ -1,0 +1,52 @@
+#pragma once
+// Functional (bit-faithful) execution of the dense MARLIN kernel on the
+// host simulator.
+//
+// The kernel is executed exactly as the CUDA implementation schedules it:
+//   * the B tile grid is cut into striped per-SM workloads (Figure 5);
+//   * within a tile, warps own fixed-width-64 subtiles and split the K_sm
+//     slabs (Figure 4 / Algorithm 1), accumulating FP32 partials;
+//   * B fragments are unpacked per thread from the 16-byte reshuffled
+//     vectors and dequantised with the exact lop3/packed-FP16 bit trick;
+//   * grouped scales are applied at dequantisation time (FP16), per-column
+//     scales once at output;
+//   * warps tree-reduce their partials (logarithmic shared-memory
+//     reduction), then column partials are serially reduced bottom-to-top
+//     in FP16 directly in the output buffer — the lock-buffer protocol.
+// Data traffic at each memory level is recorded as the kernel runs; the
+// timing layer prices the identical schedule.
+//
+// On the host, SM workloads run on a thread pool (they are data-parallel;
+// the serial FP16 reduction is performed as an ordered second phase, which
+// is the same dataflow the GPU lock buffer enforces).
+
+#include "core/config.hpp"
+#include "core/partition.hpp"
+#include "gpusim/memory.hpp"
+#include "layout/repack.hpp"
+#include "util/matrix.hpp"
+#include "util/threadpool.hpp"
+
+namespace marlin::core {
+
+struct FunctionalResult {
+  Matrix<Half> c;
+  gpusim::TrafficCounters traffic;
+  index_t reduction_steps = 0;
+  index_t tiles_processed = 0;
+  index_t max_stripe_len = 0;
+};
+
+/// C = A * dequant(B). A is M x K FP16; B is the repacked MARLIN weight
+/// stream. `num_sms` controls the striped partition (use the target
+/// device's SM count); `pool` optionally parallelises SM execution.
+FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
+                               const layout::MarlinWeights& b,
+                               const KernelConfig& cfg, int num_sms,
+                               ThreadPool* pool = nullptr);
+
+/// Reference: plain FP32-accumulate GEMM over the dequantised weights.
+Matrix<float> reference_matmul(ConstMatrixView<Half> a,
+                               ConstMatrixView<float> w);
+
+}  // namespace marlin::core

@@ -1,0 +1,18 @@
+#pragma once
+// Layer-quality metrics used by the Fig. 6 / Table 1 reproductions.
+
+#include "util/matrix.hpp"
+
+namespace marlin::eval {
+
+/// Normalised layer-output error ||X (W - W_hat)||_F^2 / ||X W||_F^2 —
+/// the quantity GPTQ minimises (expected over the calibration set).
+[[nodiscard]] double layer_output_nmse(ConstMatrixView<float> w,
+                                       ConstMatrixView<float> w_hat,
+                                       ConstMatrixView<float> calib);
+
+/// Plain weight-space NMSE ||W - W_hat||_F^2 / ||W||_F^2.
+[[nodiscard]] double weight_nmse(ConstMatrixView<float> w,
+                                 ConstMatrixView<float> w_hat);
+
+}  // namespace marlin::eval

@@ -1,0 +1,38 @@
+#include "eval/proxy.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace marlin::eval {
+
+double perplexity_proxy(double base_ppl, double nmse, double kappa) {
+  MARLIN_CHECK(nmse >= 0, "nmse must be non-negative");
+  return base_ppl * std::exp(kappa * nmse);
+}
+
+double accuracy_proxy(double base_acc, double nmse, double sensitivity) {
+  MARLIN_CHECK(nmse >= 0, "nmse must be non-negative");
+  return base_acc - sensitivity * std::sqrt(nmse) * 100.0;
+}
+
+double calibrate_kappa(double base_ppl, double anchor_ppl,
+                       double anchor_nmse) {
+  MARLIN_CHECK(anchor_nmse > 0, "anchor nmse must be positive");
+  return std::log(anchor_ppl / base_ppl) / anchor_nmse;
+}
+
+double calibrate_sensitivity(double base_acc, double anchor_acc,
+                             double anchor_nmse) {
+  MARLIN_CHECK(anchor_nmse > 0, "anchor nmse must be positive");
+  return (base_acc - anchor_acc) / (std::sqrt(anchor_nmse) * 100.0);
+}
+
+std::vector<ModelQualityRef> llama2_ppl_refs() {
+  // FP16 wikitext-2 perplexities as reported in the GPTQ/AWQ literature.
+  return {{"Llama-2-7B", 6.74, 5.47},
+          {"Llama-2-13B", 13.0, 4.88},
+          {"Llama-2-70B", 68.9, 3.32}};
+}
+
+}  // namespace marlin::eval

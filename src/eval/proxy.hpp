@@ -1,0 +1,55 @@
+#pragma once
+// Proxy mappings from *measured* synthetic-layer reconstruction error to
+// the paper's reported quality metrics (Fig. 6 perplexity, Table 1 task
+// accuracy). See DESIGN.md §1: we cannot run Llama-2 here, so the
+// algorithmic comparisons (GPTQ vs RTN, clip search on/off, dense vs 2:4)
+// are measured for real on synthetic layers, and only the final mapping to
+// PPL / accuracy units is modelled:
+//
+//   PPL(q)  = PPL_base * exp(kappa * nmse)            (monotone, exact at 0)
+//   Acc(q)  = Acc_base - sens * sqrt(nmse) * 100      (percentage points)
+//
+// kappa / sens are calibrated ONCE so that the INT4 g=128 GPTQ operating
+// point lands on the paper's own Llama-2-7B numbers; every other point
+// (other bit-widths, group sizes, RTN, sparse) then follows from measured
+// error ratios. Knowledge-distillation recovery for the INT4+2:4 model
+// (Table 1, fine-tuned) is modelled as recovering a documented fraction of
+// the drop plus the paper's reported uplift — we cannot fine-tune here.
+
+#include <string>
+#include <vector>
+
+namespace marlin::eval {
+
+struct QualityAnchors {
+  /// Calibrated so GPTQ INT4 g=128 on the synthetic model maps to the
+  /// paper-reported degradation.
+  double kappa = 0;  // set by calibrate_* below
+  double accuracy_sensitivity = 0;
+};
+
+/// Perplexity proxy (lower is better).
+[[nodiscard]] double perplexity_proxy(double base_ppl, double nmse,
+                                      double kappa);
+
+/// Task-accuracy proxy in percentage points.
+[[nodiscard]] double accuracy_proxy(double base_acc, double nmse,
+                                    double sensitivity);
+
+/// kappa such that perplexity_proxy(base, anchor_nmse) == anchor_ppl.
+[[nodiscard]] double calibrate_kappa(double base_ppl, double anchor_ppl,
+                                     double anchor_nmse);
+
+/// sensitivity such that accuracy_proxy(base, anchor_nmse) == anchor_acc.
+[[nodiscard]] double calibrate_sensitivity(double base_acc, double anchor_acc,
+                                           double anchor_nmse);
+
+/// Published FP16 wikitext-2 perplexities used as Fig. 6 anchors.
+struct ModelQualityRef {
+  std::string name;
+  double params_billions;
+  double fp16_ppl;
+};
+std::vector<ModelQualityRef> llama2_ppl_refs();  // 7B/13B/70B
+
+}  // namespace marlin::eval

@@ -1,0 +1,34 @@
+#pragma once
+// Synthetic LLM layer generator (substitution for real checkpoints +
+// calibration text — see DESIGN.md §1).
+//
+// Weights are heavy-tailed (Student-t) with log-normal per-column scale
+// diversity; calibration activations have an AR(1)-style feature
+// correlation plus log-normal per-feature magnitudes, reproducing the two
+// properties that make LLM quantization non-trivial: outlier features and
+// strongly non-diagonal Hessians (which is exactly what GPTQ exploits over
+// RTN).
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace marlin::eval {
+
+struct SyntheticLayer {
+  Matrix<float> w;      // K x N weights
+  Matrix<float> calib;  // tokens x K calibration activations
+};
+
+struct SyntheticParams {
+  double weight_tail_dof = 5.0;    // Student-t dof for weights
+  double weight_scale = 0.02;      // base std-dev
+  double column_scale_sigma = 0.3; // log-normal sigma of per-column scales
+  double feature_corr = 0.6;       // AR(1) rho across the K features
+  double feature_scale_sigma = 0.8;// log-normal sigma of feature magnitudes
+};
+
+SyntheticLayer make_synthetic_layer(index_t k, index_t n, index_t tokens,
+                                    std::uint64_t seed,
+                                    const SyntheticParams& p = {});
+
+}  // namespace marlin::eval

@@ -1,0 +1,37 @@
+#pragma once
+// Common result type for all kernel timing models (MARLIN, Sparse-MARLIN,
+// FP16 baseline, comparator kernels). Carries enough detail to drive both
+// the speedup figures and the roofline plot.
+
+#include "gpusim/memory.hpp"
+
+namespace marlin::gpusim {
+
+struct TimeBreakdown {
+  double mem_s = 0;            // GMEM streaming
+  double l2_s = 0;             // L2-served re-reads (A tiles)
+  double compute_s = 0;        // tensor-core / CUDA-core math
+  double dequant_s = 0;        // non-overlapped dequantisation (baselines)
+  double reduce_s = 0;         // global partial-result reduction
+  double pipeline_fill_s = 0;  // software pipeline warm-up
+  double launch_s = 0;         // kernel launch
+};
+
+struct KernelEstimate {
+  double seconds = 0;
+  TimeBreakdown breakdown;
+  double useful_flops = 0;  // 2*M*K*N
+  TrafficCounters traffic;
+  double effective_clock_ghz = 0;
+
+  [[nodiscard]] double achieved_tflops() const {
+    return seconds > 0 ? useful_flops / seconds / 1e12 : 0.0;
+  }
+  /// FLOPs per byte of GMEM traffic — x-axis of the roofline plot.
+  [[nodiscard]] double arithmetic_intensity() const {
+    const double bytes = static_cast<double>(traffic.gmem_total());
+    return bytes > 0 ? useful_flops / bytes : 0.0;
+  }
+};
+
+}  // namespace marlin::gpusim

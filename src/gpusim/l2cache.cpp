@@ -1,0 +1,64 @@
+#include "gpusim/l2cache.hpp"
+
+#include "util/error.hpp"
+
+namespace marlin::gpusim {
+
+namespace {
+[[nodiscard]] bool is_pow2(std::int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+L2Cache::L2Cache(std::int64_t size_bytes, int ways, int line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  MARLIN_CHECK(ways >= 1, "need at least one way");
+  MARLIN_CHECK(is_pow2(line_bytes), "line size must be a power of two");
+  const std::int64_t lines = size_bytes / line_bytes;
+  MARLIN_CHECK(lines >= ways, "cache smaller than one set");
+  num_sets_ = static_cast<int>(lines / ways);  // modulo indexing; any count
+  sets_.assign(static_cast<std::size_t>(num_sets_),
+               std::vector<Line>(static_cast<std::size_t>(ways_)));
+}
+
+bool L2Cache::access(std::uint64_t addr, CacheHint hint) {
+  const std::uint64_t line_addr = addr / static_cast<std::uint64_t>(line_bytes_);
+  const auto set_idx =
+      static_cast<std::size_t>(line_addr % static_cast<std::uint64_t>(num_sets_));
+  const std::uint64_t tag = line_addr / static_cast<std::uint64_t>(num_sets_);
+  auto& set = sets_[set_idx];
+
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    if (set[i].valid && set[i].tag == tag) {
+      ++stats_.hits;
+      if (hint == CacheHint::kNormal && i != 0) {
+        // Move to MRU.
+        const Line l = set[i];
+        set.erase(set.begin() + static_cast<std::ptrdiff_t>(i));
+        set.insert(set.begin(), l);
+      }
+      return true;
+    }
+  }
+
+  ++stats_.misses;
+  set.pop_back();  // evict LRU
+  const Line l{tag, true};
+  if (hint == CacheHint::kEvictFirst) {
+    set.push_back(l);  // LRU position: first to go
+  } else {
+    set.insert(set.begin(), l);  // MRU
+  }
+  return false;
+}
+
+void L2Cache::access_range(std::uint64_t addr, std::int64_t bytes,
+                           CacheHint hint) {
+  const std::uint64_t first = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::uint64_t last =
+      (addr + static_cast<std::uint64_t>(bytes) - 1) /
+      static_cast<std::uint64_t>(line_bytes_);
+  for (std::uint64_t line = first; line <= last; ++line) {
+    access(line * static_cast<std::uint64_t>(line_bytes_), hint);
+  }
+}
+
+}  // namespace marlin::gpusim

@@ -1,0 +1,68 @@
+#pragma once
+// Set-associative L2 cache simulator with the Ampere `evict_first` cache
+// hint (paper §3.4 "Bound By Weight Loading"):
+//
+//   "every read will always be put into the L2 cache, potentially evicting
+//    parts of A that are still needed by some SMs. To avoid such cache
+//    pollution, we use the cp.async instruction with an evict_first
+//    cache-hint."
+//
+// Lines fetched with kEvictFirst are inserted at the LRU end of their set,
+// so the streaming B operand cannot displace the re-used A working set.
+// The l2 tests replay exactly this access pattern and measure A's hit rate
+// with and without the hint.
+
+#include <cstdint>
+#include <vector>
+
+namespace marlin::gpusim {
+
+enum class CacheHint {
+  kNormal,      // insert at MRU (default allocation policy)
+  kEvictFirst,  // insert at LRU — dropped before any other line
+};
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class L2Cache {
+ public:
+  L2Cache(std::int64_t size_bytes, int ways = 16, int line_bytes = 128);
+
+  /// Access one byte address; fetches the whole line on miss. Returns true
+  /// on hit. The hint applies to the *inserted* line on a miss (and
+  /// refreshes position on hit only for kNormal).
+  bool access(std::uint64_t addr, CacheHint hint = CacheHint::kNormal);
+
+  /// Access a contiguous byte range (every covered line).
+  void access_range(std::uint64_t addr, std::int64_t bytes, CacheHint hint);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  [[nodiscard]] int num_sets() const { return num_sets_; }
+  [[nodiscard]] int ways() const { return ways_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = ~0ull;
+    bool valid = false;
+  };
+
+  int ways_;
+  int line_bytes_;
+  int num_sets_;
+  // sets_[set] holds `ways_` lines ordered MRU -> LRU.
+  std::vector<std::vector<Line>> sets_;
+  CacheStats stats_;
+};
+
+}  // namespace marlin::gpusim

@@ -1,0 +1,45 @@
+#include "gpusim/pipeline.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace marlin::gpusim {
+
+PipelineResult simulate_pipeline(const PipelineParams& p) {
+  MARLIN_CHECK(p.depth >= 1, "pipeline depth must be >= 1");
+  MARLIN_CHECK(p.num_tiles >= 0, "negative tile count");
+  PipelineResult r;
+  if (p.num_tiles == 0) return r;
+
+  const int n = p.num_tiles;
+  std::vector<double> compute_done(static_cast<std::size_t>(n), 0.0);
+
+  double mem_free = 0.0;      // when the memory engine can start the next load
+  double compute_free = 0.0;  // when the tensor cores finish the current tile
+
+  for (int i = 0; i < n; ++i) {
+    // Buffer slot for tile i frees once tile i-P finished computing.
+    const double slot_free =
+        (i >= p.depth) ? compute_done[static_cast<std::size_t>(i - p.depth)]
+                       : 0.0;
+    const double load_start = std::max(mem_free, slot_free);
+    mem_free = load_start + p.tile_load_s;
+    const double data_ready = mem_free + p.load_latency_s;
+
+    const double compute_start = std::max(data_ready, compute_free);
+    compute_free = compute_start + p.tile_compute_s;
+    compute_done[static_cast<std::size_t>(i)] = compute_free;
+  }
+
+  r.total_s = compute_free;
+  const double steady = std::max(p.tile_load_s, p.tile_compute_s);
+  r.ideal_s = p.tile_load_s + p.load_latency_s +
+              static_cast<double>(n - 1) * steady + p.tile_compute_s;
+  r.stall_s = std::max(0.0, r.total_s - r.ideal_s);
+  r.stall_fraction = r.total_s > 0 ? r.stall_s / r.total_s : 0.0;
+  return r;
+}
+
+}  // namespace marlin::gpusim

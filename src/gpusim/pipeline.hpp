@@ -1,0 +1,31 @@
+#pragma once
+// Discrete simulation of the cp.async multi-buffer software pipeline
+// (paper §3.4 "Memory Load Pipelining", Figure 3).
+//
+// The kernel prefetches the tile used P-1 iterations ahead; one extra buffer
+// holds the current tile. The simulation tracks the memory engine (tile
+// transfers are serialised at streaming bandwidth, plus a fixed GMEM->SMEM
+// latency) and the compute engine (one tile's worth of tensor-core math),
+// with buffer recycling after compute completes. This yields both the total
+// time and the stall fraction, which the pipeline-depth ablation sweeps.
+
+namespace marlin::gpusim {
+
+struct PipelineParams {
+  int depth = 4;              // P: number of in-flight buffers
+  int num_tiles = 0;          // tiles processed by one SM
+  double tile_load_s = 0;     // bandwidth-limited transfer time per tile
+  double load_latency_s = 0;  // fixed cp.async GMEM latency component
+  double tile_compute_s = 0;  // tensor-core time per tile
+};
+
+struct PipelineResult {
+  double total_s = 0;
+  double ideal_s = 0;     // max(load, compute) steady state + first fill
+  double stall_s = 0;     // total - ideal (>= 0)
+  double stall_fraction = 0;
+};
+
+[[nodiscard]] PipelineResult simulate_pipeline(const PipelineParams& p);
+
+}  // namespace marlin::gpusim

@@ -1,0 +1,24 @@
+#pragma once
+// Roofline helpers (paper Figure 11).
+
+#include <algorithm>
+
+#include "gpusim/device.hpp"
+
+namespace marlin::gpusim {
+
+/// Attainable FLOP/s at a given arithmetic intensity and clock:
+/// min(peak_flops(clock), intensity * GMEM bandwidth).
+[[nodiscard]] inline double roofline_attainable_flops(const DeviceSpec& d,
+                                                      double clock_ghz,
+                                                      double intensity) {
+  return std::min(d.tc_flops(clock_ghz), intensity * d.gmem_bytes_per_s());
+}
+
+/// Intensity of the memory/compute ridge point at a given clock.
+[[nodiscard]] inline double roofline_ridge_intensity(const DeviceSpec& d,
+                                                     double clock_ghz) {
+  return d.flops_per_byte(clock_ghz);
+}
+
+}  // namespace marlin::gpusim

@@ -1,0 +1,42 @@
+#include "gpusim/smem_bank.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace marlin::gpusim {
+
+int phase_conflict_transactions(
+    std::span<const std::uint64_t> byte_addresses) {
+  // A 16-byte access touches 4 consecutive banks starting at (addr/4) % 32.
+  // Hardware can broadcast identical chunks, so we count *distinct* chunk
+  // addresses per starting bank.
+  std::array<std::vector<std::uint64_t>, kNumBanks> per_bank;
+  for (const std::uint64_t addr : byte_addresses) {
+    MARLIN_CHECK(addr % 16 == 0, "16-byte accesses must be 16-byte aligned");
+    const int bank = static_cast<int>((addr / kBankWidthBytes) % kNumBanks);
+    auto& v = per_bank[bank];
+    if (std::find(v.begin(), v.end(), addr) == v.end()) v.push_back(addr);
+  }
+  int worst = 1;
+  for (const auto& v : per_bank) {
+    worst = std::max(worst, static_cast<int>(v.size()));
+  }
+  return worst;
+}
+
+int warp_conflict_transactions(
+    std::span<const std::uint64_t, 32> byte_addresses) {
+  int worst = 1;
+  for (int phase = 0; phase < 4; ++phase) {
+    worst = std::max(
+        worst, phase_conflict_transactions(
+                   byte_addresses.subspan(static_cast<std::size_t>(phase) * 8,
+                                          8)));
+  }
+  return worst;
+}
+
+}  // namespace marlin::gpusim

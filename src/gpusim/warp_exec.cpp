@@ -1,0 +1,41 @@
+#include "gpusim/warp_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace marlin::gpusim {
+
+double tensor_core_utilization(const DeviceSpec& d, const WarpExecParams& p) {
+  MARLIN_CHECK(p.num_warps >= 1, "need at least one warp");
+  MARLIN_CHECK(p.warp_tile_m >= 1 && p.warp_tile_n >= 1, "bad warp tile");
+
+  const int schedulers = d.warp_schedulers_per_sm;
+  const double warps_per_sched =
+      static_cast<double>(p.num_warps) / schedulers;
+
+  const double m_blocks = std::ceil(p.warp_tile_m / 16.0);
+  const double n_blocks = std::ceil(p.warp_tile_n / 8.0);
+  const double streams = m_blocks * n_blocks;
+
+  // (1) Dependency bound: in-flight MMAs available vs needed (Little's law).
+  const double needed = p.mma_latency_cycles / p.mma_issue_cycles;
+  const double available = std::max(1.0, warps_per_sched) * streams;
+  const double dep_util = std::min(1.0, available / needed);
+
+  // (2) Dispatch bound: per k-step and warp, the scheduler must issue
+  // streams mma + streams*aux companion instructions, one per cycle, while
+  // the tensor pipe is busy streams*issue cycles. With enough warps the
+  // companion stream of one warp hides under the pipe-time of the others.
+  const double pipe_cycles = streams * p.mma_issue_cycles;
+  const double dispatch_cycles = streams * (1.0 + p.aux_dispatch_per_mma);
+  const double busy_cycles =
+      std::max(pipe_cycles,
+               dispatch_cycles / std::max(1.0, warps_per_sched));
+  const double dispatch_util = pipe_cycles / busy_cycles;
+
+  return std::max(0.05, dep_util * dispatch_util);
+}
+
+}  // namespace marlin::gpusim

@@ -1,0 +1,133 @@
+#include "layout/repack.hpp"
+
+#include <array>
+
+#include "layout/fragment.hpp"
+#include "quant/dequant_trick.hpp"
+#include "quant/pack.hpp"
+
+namespace marlin::layout {
+
+std::array<int, 64> scale_chunk_perm() {
+  std::array<int, 64> perm{};
+  for (int tg = 0; tg < 8; ++tg) {
+    for (int m = 0; m < 8; ++m) {
+      perm[static_cast<std::size_t>(tg * 8 + m)] = m * 8 + tg;
+    }
+  }
+  return perm;
+}
+
+MarlinWeights marlin_repack(const quant::QuantizedWeights& q) {
+  MARLIN_CHECK(q.cfg.bits == 4, "MARLIN format packs 4-bit codes");
+  MARLIN_CHECK(q.group_index.empty(),
+               "act-order (desc_act) checkpoints must be converted to "
+               "sequential groups before the MARLIN repack");
+  MARLIN_CHECK(q.k % kSlabRows == 0,
+               "K=" << q.k << " must be divisible by " << kSlabRows);
+  MARLIN_CHECK(q.n % kChunkCols == 0,
+               "N=" << q.n << " must be divisible by " << kChunkCols);
+  if (q.cfg.group_size != quant::kPerColumn) {
+    MARLIN_CHECK(q.cfg.group_size % kSlabRows == 0,
+                 "group size must align with 16-row slabs");
+  }
+
+  MarlinWeights mw;
+  mw.k = q.k;
+  mw.n = q.n;
+  mw.cfg = q.cfg;
+  mw.packed.resize(static_cast<std::size_t>(mw.num_slabs() * mw.num_chunks()) *
+                   32 * 4);
+
+  std::array<std::uint8_t, 8> codes{};
+  for (index_t slab = 0; slab < mw.num_slabs(); ++slab) {
+    for (index_t chunk = 0; chunk < mw.num_chunks(); ++chunk) {
+      for (int lane = 0; lane < 32; ++lane) {
+        for (int block = 0; block < 4; ++block) {
+          for (int w = 0; w < 8; ++w) {
+            const Coord c = weight_block16_coord(lane, w);
+            const index_t row = slab * kSlabRows + c.row;
+            const index_t col = chunk * kChunkCols + block * 16 + c.col;
+            codes[static_cast<std::size_t>(w)] = q.codes(row, col);
+          }
+          mw.packed[mw.packed_index(slab, chunk, lane, block)] =
+              quant::pack8_interleaved(codes);
+        }
+      }
+    }
+  }
+
+  // Scales: permute columns within each 64-wide chunk.
+  const auto perm = scale_chunk_perm();
+  mw.scales_packed = Matrix<Half>(q.scales.rows(), q.scales.cols());
+  for (index_t g = 0; g < q.scales.rows(); ++g) {
+    for (index_t chunk = 0; chunk < mw.num_chunks(); ++chunk) {
+      for (int p = 0; p < 64; ++p) {
+        mw.scales_packed(g, chunk * kChunkCols + p) =
+            q.scales(g, chunk * kChunkCols + perm[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+  return mw;
+}
+
+MarlinWeights marlin_repack_awq(const quant::AsymmetricQuantizedWeights& q) {
+  // Reuse the symmetric repack for codes and scales by staging through a
+  // QuantizedWeights, then attach the permuted zero points.
+  quant::QuantizedWeights staged(q.k, q.n, q.cfg);
+  staged.codes = q.codes;
+  staged.scales = q.scales;
+  MarlinWeights mw = marlin_repack(staged);
+
+  const auto perm = scale_chunk_perm();
+  mw.zeros_packed = Matrix<std::uint8_t>(q.zeros.rows(), q.zeros.cols());
+  for (index_t g = 0; g < q.zeros.rows(); ++g) {
+    for (index_t chunk = 0; chunk < mw.num_chunks(); ++chunk) {
+      for (int p = 0; p < 64; ++p) {
+        mw.zeros_packed(g, chunk * kChunkCols + p) =
+            q.zeros(g, chunk * kChunkCols + perm[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+  return mw;
+}
+
+Matrix<float> marlin_unpack_dequant(const MarlinWeights& mw) {
+  Matrix<float> out(mw.k, mw.n);
+  const auto perm = scale_chunk_perm();
+  // Inverse scale permutation: original column -> packed position.
+  std::array<int, 64> inv{};
+  for (int p = 0; p < 64; ++p) inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])] = p;
+
+  for (index_t slab = 0; slab < mw.num_slabs(); ++slab) {
+    for (index_t chunk = 0; chunk < mw.num_chunks(); ++chunk) {
+      for (int lane = 0; lane < 32; ++lane) {
+        for (int block = 0; block < 4; ++block) {
+          const std::uint32_t reg =
+              mw.packed[mw.packed_index(slab, chunk, lane, block)];
+          const auto vals = quant::dequant8(reg);
+          for (int w = 0; w < 8; ++w) {
+            const Coord c = weight_block16_coord(lane, w);
+            const index_t row = slab * kSlabRows + c.row;
+            const index_t col = chunk * kChunkCols + block * 16 + c.col;
+            const index_t g = mw.cfg.group_of_row(row);
+            const index_t packed_col =
+                chunk * kChunkCols +
+                inv[static_cast<std::size_t>(block * 16 + c.col)];
+            const Half s = mw.scales_packed(g, packed_col);
+            // dequant8 yields code-8; the asymmetric path re-centres on the
+            // stored zero point instead of the fixed 8.
+            float v = vals[static_cast<std::size_t>(w)].to_float();
+            if (mw.asymmetric()) {
+              v += 8.0f - static_cast<float>(mw.zeros_packed(g, packed_col));
+            }
+            out(row, col) = v * s.to_float();
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace marlin::layout

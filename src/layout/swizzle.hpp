@@ -1,0 +1,42 @@
+#pragma once
+// Shared-memory XOR swizzle for the activation operand A (paper §3.4
+// "Shared Memory Layouts").
+//
+// A shared-memory A tile is addressed in 16-byte vectors (8 FP16 values).
+// Storing logical vector (i, j) at physical vector slot (i, i XOR j) makes
+// both the ldmatrix.sync reads (which gather vectors (i..i+7, j) per 8x8
+// block) and the cp.async writes (a warp writing a contiguous row range)
+// conflict-free across the 32 shared-memory banks. The layout tests verify
+// both properties against the gpusim bank model.
+
+#include <cstdint>
+
+namespace marlin::layout {
+
+inline constexpr int kVectorBytes = 16;
+
+/// Physical vector-slot column for logical (row, col).
+[[nodiscard]] constexpr int swizzle_col(int row, int col) {
+  return row ^ col;
+}
+
+/// Byte offset inside a SMEM tile of `vectors_per_row` 16-byte vectors.
+[[nodiscard]] constexpr std::uint64_t swizzled_offset_bytes(
+    int row, int col, int vectors_per_row) {
+  return (static_cast<std::uint64_t>(row) *
+              static_cast<std::uint64_t>(vectors_per_row) +
+          static_cast<std::uint64_t>(swizzle_col(row, col) %
+                                     vectors_per_row)) *
+         kVectorBytes;
+}
+
+/// Identity layout (no swizzle) for the ablation/counter-example tests.
+[[nodiscard]] constexpr std::uint64_t linear_offset_bytes(
+    int row, int col, int vectors_per_row) {
+  return (static_cast<std::uint64_t>(row) *
+              static_cast<std::uint64_t>(vectors_per_row) +
+          static_cast<std::uint64_t>(col)) *
+         kVectorBytes;
+}
+
+}  // namespace marlin::layout

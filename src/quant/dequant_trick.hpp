@@ -1,0 +1,64 @@
+#pragma once
+// Bit-exact emulation of MARLIN's INT4 -> FP16 dequantisation
+// (paper §3.4 "Dequantization and Tensor Cores", after Kim et al. 2022).
+//
+// GPUs can treat one 32-bit register as two packed FP16 lanes. For each
+// extraction step k of a packed register q (interleave pattern 64207531):
+//
+//   t = (q >> 4k) & 0x000f000f | 0x64006400        // one lop3 instruction
+//
+// Each 16-bit lane of t is now an FP16 number with exponent pattern
+// 0110010 (biased exponent 25, i.e. 2^10 = 1024) whose low 4 mantissa bits
+// are the INT4 code v: the lane decodes to 1024 + v. Subtracting the magic
+// constant 1032.0 (bits 0x6408 — the "-8" signed offset fused into the low
+// bits) yields exactly v - 8, the signed weight, with no rounding anywhere.
+
+#include <array>
+#include <cstdint>
+#include <utility>
+
+#include "util/half.hpp"
+
+namespace marlin::quant {
+
+inline constexpr std::uint32_t kDequantMask = 0x000f000fu;
+inline constexpr std::uint32_t kDequantExp = 0x64006400u;  // 2x FP16 1024.0
+inline constexpr std::uint16_t kDequantMagic = 0x6408u;    // FP16 1032.0
+
+/// Emulates the lop3: (q >> shift_nibbles*4) & mask | exponent-splice.
+[[nodiscard]] constexpr std::uint32_t lop3_splice(std::uint32_t q,
+                                                  int extraction_step) {
+  return ((q >> (4 * extraction_step)) & kDequantMask) | kDequantExp;
+}
+
+/// Dequantise extraction step k of a packed register. Returns the pair
+/// (high lane, low lane) = (logical weight 2k, logical weight 2k+1), as
+/// *signed* FP16 values in [-8, 7]; exact, no rounding.
+[[nodiscard]] inline std::pair<Half, Half> dequant_step(std::uint32_t q,
+                                                        int extraction_step) {
+  const std::uint32_t t = lop3_splice(q, extraction_step);
+  const Half magic = Half::from_bits(kDequantMagic);
+  const Half lo = Half::from_bits(static_cast<std::uint16_t>(t & 0xffffu));
+  const Half hi = Half::from_bits(static_cast<std::uint16_t>(t >> 16));
+  return {hi - magic, lo - magic};
+}
+
+/// Dequantise a whole packed register into logical order w0..w7 (signed).
+[[nodiscard]] inline std::array<Half, 8> dequant8(std::uint32_t q) {
+  std::array<Half, 8> out{};
+  for (int k = 0; k < 4; ++k) {
+    const auto [even, odd] = dequant_step(q, k);
+    out[static_cast<std::size_t>(2 * k)] = even;
+    out[static_cast<std::size_t>(2 * k + 1)] = odd;
+  }
+  return out;
+}
+
+/// The "naive" conversion the paper calls slow: shift, mask, integer
+/// subtract, int->float cast, float->half. Functionally identical; used by
+/// the dequant ablation and as a cross-check in tests.
+[[nodiscard]] inline Half dequant_naive_code(std::uint8_t code) {
+  return Half(static_cast<float>(static_cast<int>(code) - 8));
+}
+
+}  // namespace marlin::quant

@@ -1,0 +1,71 @@
+#pragma once
+// GPTQ (Frantar et al., 2022) post-training quantization, in the MARLIN
+// variant the paper describes in §3.5:
+//   (a) per-group scales chosen by searching clipping thresholds
+//       (QuantConfig::clip_search), and
+//   (b) calibration sequences of variable length (HessianAccumulator
+//       accepts any number of rows per call).
+//
+// Orientation: the weight operand is K x N (reduction dim x outputs); the
+// Hessian H = 2 X^T X is K x K, built from calibration activations X
+// (tokens x K). Rows are quantized top-to-bottom; the quantisation error of
+// row k is propagated into the remaining rows through row k of the upper
+// Cholesky factor U of H^{-1} (the classic GPTQ update).
+
+#include "quant/linalg.hpp"
+#include "quant/qweights.hpp"
+
+namespace marlin::quant {
+
+struct GptqConfig {
+  QuantConfig quant;
+  /// Diagonal damping as a fraction of mean(diag(H)) ("percdamp").
+  double damping = 0.01;
+  /// GPTQ `desc_act`: quantize rows in order of decreasing Hessian
+  /// diagonal so the most activation-salient rows are handled first, while
+  /// later (error-compensated) rows absorb their residuals. The result
+  /// carries QuantizedWeights::group_index and must be converted before
+  /// the MARLIN repack (the real kernel has the same restriction).
+  bool act_order = false;
+};
+
+struct GptqResult {
+  QuantizedWeights weights;
+  /// Sum over all elements of ((w - q) / U_kk)^2 — proportional to the
+  /// increase in expected layer-output MSE under the calibration
+  /// distribution; the eval module maps this to the perplexity proxy.
+  double hessian_weighted_error = 0.0;
+};
+
+/// Accumulates H = 2 X^T X over calibration sequences of arbitrary length
+/// (paper §3.5 modification (b)).
+class HessianAccumulator {
+ public:
+  explicit HessianAccumulator(index_t k);
+
+  /// x: tokens x K activations of one calibration sequence (any #tokens).
+  void add_sequence(ConstMatrixView<float> x);
+
+  [[nodiscard]] index_t dim() const { return k_; }
+  [[nodiscard]] index_t num_tokens() const { return tokens_; }
+  /// Mean-normalised Hessian 2/N * X^T X.
+  [[nodiscard]] Matrix<double> hessian() const;
+
+ private:
+  index_t k_;
+  index_t tokens_ = 0;
+  Matrix<double> gram_;
+};
+
+/// Quantize W (K x N) given a calibration Hessian (K x K).
+GptqResult gptq_quantize(ConstMatrixView<float> w,
+                         const Matrix<double>& hessian,
+                         const GptqConfig& cfg);
+
+inline GptqResult gptq_quantize(ConstMatrixView<float> w,
+                                const HessianAccumulator& acc,
+                                const GptqConfig& cfg) {
+  return gptq_quantize(w, acc.hessian(), cfg);
+}
+
+}  // namespace marlin::quant

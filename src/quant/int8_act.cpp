@@ -1,0 +1,41 @@
+#include "quant/int8_act.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace marlin::quant {
+
+Int8Activations quantize_activations_int8(ConstMatrixView<Half> a) {
+  const index_t m = a.rows(), k = a.cols();
+  MARLIN_CHECK(m > 0 && k > 0, "empty activations");
+  Int8Activations out;
+  out.q = Matrix<std::int8_t>(m, k);
+  out.row_scale.resize(static_cast<std::size_t>(m));
+  for (index_t i = 0; i < m; ++i) {
+    float maxabs = 0.0f;
+    for (index_t j = 0; j < k; ++j) {
+      maxabs = std::max(maxabs, std::abs(a(i, j).to_float()));
+    }
+    const float s = maxabs > 0 ? maxabs / 127.0f : 1.0f;
+    out.row_scale[static_cast<std::size_t>(i)] = s;
+    for (index_t j = 0; j < k; ++j) {
+      const int code = std::clamp(
+          static_cast<int>(std::nearbyint(a(i, j).to_float() / s)), -127,
+          127);
+      out.q(i, j) = static_cast<std::int8_t>(code);
+    }
+  }
+  return out;
+}
+
+Matrix<float> dequantize_activations(const Int8Activations& a) {
+  Matrix<float> out(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) out(i, j) = a.decode(i, j);
+  }
+  return out;
+}
+
+}  // namespace marlin::quant

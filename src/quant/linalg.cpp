@@ -1,0 +1,75 @@
+#include "quant/linalg.hpp"
+
+#include <cmath>
+
+namespace marlin::quant {
+
+Matrix<double> cholesky_lower(const Matrix<double>& h) {
+  const index_t n = h.rows();
+  MARLIN_CHECK(h.cols() == n, "matrix must be square");
+  Matrix<double> l(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    double diag = h(j, j);
+    for (index_t t = 0; t < j; ++t) diag -= l(j, t) * l(j, t);
+    MARLIN_CHECK(diag > 0.0, "matrix not positive definite at pivot " << j);
+    l(j, j) = std::sqrt(diag);
+    for (index_t i = j + 1; i < n; ++i) {
+      double s = h(i, j);
+      for (index_t t = 0; t < j; ++t) s -= l(i, t) * l(j, t);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Matrix<double> spd_inverse(const Matrix<double>& h) {
+  const index_t n = h.rows();
+  const Matrix<double> l = cholesky_lower(h);
+  // Solve L Y = I, then L^T X = Y, column by column.
+  Matrix<double> inv(n, n, 0.0);
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (index_t c = 0; c < n; ++c) {
+    for (index_t i = 0; i < n; ++i) {
+      double s = (i == c) ? 1.0 : 0.0;
+      for (index_t t = 0; t < i; ++t) s -= l(i, t) * y[static_cast<std::size_t>(t)];
+      y[static_cast<std::size_t>(i)] = s / l(i, i);
+    }
+    for (index_t i = n - 1; i >= 0; --i) {
+      double s = y[static_cast<std::size_t>(i)];
+      for (index_t t = i + 1; t < n; ++t) s -= l(t, i) * inv(t, c);
+      inv(i, c) = s / l(i, i);
+    }
+  }
+  return inv;
+}
+
+Matrix<double> upper_cholesky_of_inverse(const Matrix<double>& h) {
+  const index_t n = h.rows();
+  // H^{-1} = L L^T  =>  H^{-1} = U^T U with U = L^T (upper triangular).
+  const Matrix<double> l = cholesky_lower(spd_inverse(h));
+  Matrix<double> u(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j <= i; ++j) u(j, i) = l(i, j);
+  }
+  return u;
+}
+
+Matrix<double> gram(ConstMatrixView<float> a) {
+  const index_t m = a.rows(), n = a.cols();
+  Matrix<double> g(n, n, 0.0);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t i = 0; i < n; ++i) {
+      const double ai = a(r, i);
+      if (ai == 0.0) continue;
+      for (index_t j = i; j < n; ++j) {
+        g(i, j) += ai * static_cast<double>(a(r, j));
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+}  // namespace marlin::quant

@@ -1,0 +1,101 @@
+#include "quant/pack.hpp"
+
+#include "util/error.hpp"
+
+namespace marlin::quant {
+
+std::uint32_t pack8_interleaved(std::span<const std::uint8_t> codes8) {
+  MARLIN_CHECK(codes8.size() == 8, "need exactly 8 codes");
+  std::uint32_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    MARLIN_CHECK(codes8[static_cast<std::size_t>(i)] < 16, "code out of range");
+    const int nibble = kInterleaveNibbleOfLogical[static_cast<std::size_t>(i)];
+    out |= static_cast<std::uint32_t>(codes8[static_cast<std::size_t>(i)])
+           << (4 * nibble);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 8> unpack8_interleaved(std::uint32_t packed) {
+  std::array<std::uint8_t, 8> out{};
+  for (int i = 0; i < 8; ++i) {
+    const int nibble = kInterleaveNibbleOfLogical[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((packed >> (4 * nibble)) & 0xfu);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> pack_interleaved(
+    std::span<const std::uint8_t> codes) {
+  MARLIN_CHECK(codes.size() % 8 == 0, "size must be a multiple of 8");
+  std::vector<std::uint32_t> out;
+  out.reserve(codes.size() / 8);
+  for (std::size_t i = 0; i < codes.size(); i += 8) {
+    out.push_back(pack8_interleaved(codes.subspan(i, 8)));
+  }
+  return out;
+}
+
+std::uint32_t pack8_linear(std::span<const std::uint8_t> codes8) {
+  MARLIN_CHECK(codes8.size() == 8, "need exactly 8 codes");
+  std::uint32_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    MARLIN_CHECK(codes8[static_cast<std::size_t>(i)] < 16, "code out of range");
+    out |= static_cast<std::uint32_t>(codes8[static_cast<std::size_t>(i)])
+           << (4 * i);
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 8> unpack8_linear(std::uint32_t packed) {
+  std::array<std::uint8_t, 8> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((packed >> (4 * i)) & 0xfu);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> pack_bits(std::span<const std::uint8_t> codes,
+                                     int bits) {
+  MARLIN_CHECK(bits == 2 || bits == 4 || bits == 8,
+               "supported widths: 2, 4, 8 bits");
+  const int per_reg = 32 / bits;
+  MARLIN_CHECK(codes.size() % static_cast<std::size_t>(per_reg) == 0,
+               "size must be a multiple of " << per_reg);
+  const std::uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+  std::vector<std::uint32_t> out;
+  out.reserve(codes.size() / static_cast<std::size_t>(per_reg));
+  for (std::size_t i = 0; i < codes.size(); i += static_cast<std::size_t>(per_reg)) {
+    std::uint32_t reg = 0;
+    for (int j = 0; j < per_reg; ++j) {
+      const std::uint8_t c = codes[i + static_cast<std::size_t>(j)];
+      MARLIN_CHECK((c & ~mask) == 0, "code out of range for " << bits
+                                                              << " bits");
+      reg |= static_cast<std::uint32_t>(c) << (bits * j);
+    }
+    out.push_back(reg);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unpack_bits(std::span<const std::uint32_t> packed,
+                                      int bits, std::size_t count) {
+  MARLIN_CHECK(bits == 2 || bits == 4 || bits == 8,
+               "supported widths: 2, 4, 8 bits");
+  const int per_reg = 32 / bits;
+  MARLIN_CHECK(count <= packed.size() * static_cast<std::size_t>(per_reg),
+               "count exceeds packed data");
+  const std::uint32_t mask = (1u << bits) - 1u;
+  std::vector<std::uint8_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t reg = packed[i / static_cast<std::size_t>(per_reg)];
+    const int j = static_cast<int>(i % static_cast<std::size_t>(per_reg));
+    out.push_back(static_cast<std::uint8_t>((reg >> (bits * j)) & mask));
+  }
+  return out;
+}
+
+}  // namespace marlin::quant

@@ -1,0 +1,138 @@
+#include "quant/uniform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin::quant {
+
+AsymmetricParams asymmetric_params(std::span<const float> v, int bits) {
+  MARLIN_CHECK(!v.empty(), "empty vector");
+  MARLIN_CHECK(bits >= 2 && bits <= 8, "bits out of range");
+  const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  AsymmetricParams p;
+  p.zero = *mn;
+  const float range = *mx - *mn;
+  const float levels = static_cast<float>((1 << bits) - 1);
+  p.scale = range > 0 ? range / levels : 1.0f;
+  return p;
+}
+
+std::vector<int> quantize_asymmetric(std::span<const float> v, int bits,
+                                     const AsymmetricParams& p) {
+  std::vector<int> q;
+  q.reserve(v.size());
+  const int qmax = (1 << bits) - 1;
+  for (const float x : v) {
+    const int code =
+        static_cast<int>(std::nearbyint((x - p.zero) / p.scale));
+    q.push_back(std::clamp(code, 0, qmax));
+  }
+  return q;
+}
+
+std::vector<float> dequantize_asymmetric(std::span<const int> q,
+                                         const AsymmetricParams& p) {
+  std::vector<float> v;
+  v.reserve(q.size());
+  for (const int code : q) {
+    v.push_back(static_cast<float>(code) * p.scale + p.zero);
+  }
+  return v;
+}
+
+float symmetric_scale(std::span<const float> v, int bits, float clip) {
+  MARLIN_CHECK(clip > 0.0f && clip <= 1.0f, "clip must be in (0,1]");
+  float maxabs = 0.0f;
+  for (const float x : v) maxabs = std::max(maxabs, std::abs(x));
+  const float levels = static_cast<float>((1 << (bits - 1)) - 1);  // 7 for b=4
+  const float s = clip * maxabs / levels;
+  return s > 0 ? s : 1.0f;
+}
+
+std::uint8_t encode_symmetric(float v, float scale, int bits) {
+  const int zero = 1 << (bits - 1);
+  const int lo = -zero, hi = zero - 1;
+  const int code = std::clamp(
+      static_cast<int>(std::nearbyint(v / scale)), lo, hi);
+  return static_cast<std::uint8_t>(code + zero);
+}
+
+namespace {
+
+/// Squared error of a group quantized against scale s (as the FP16 value the
+/// kernel will actually multiply with, to keep the search honest).
+double group_sq_error(std::span<const float> v, float s_fp32, int bits) {
+  const float s = Half(s_fp32).to_float();
+  const int zero = 1 << (bits - 1);
+  double err = 0.0;
+  for (const float x : v) {
+    const int code = static_cast<int>(encode_symmetric(x, s, bits)) - zero;
+    const double d = static_cast<double>(x) - static_cast<double>(code) * s;
+    err += d * d;
+  }
+  return err;
+}
+
+/// §3.5 (a): grid search over clipping fractions; returns the best scale.
+float search_clipped_scale(std::span<const float> v, int bits) {
+  float best_s = symmetric_scale(v, bits, 1.0f);
+  double best_err = group_sq_error(v, best_s, bits);
+  for (float clip = 0.95f; clip >= 0.45f; clip -= 0.05f) {
+    const float s = symmetric_scale(v, bits, clip);
+    const double err = group_sq_error(v, s, bits);
+    if (err < best_err) {
+      best_err = err;
+      best_s = s;
+    }
+  }
+  return best_s;
+}
+
+}  // namespace
+
+QuantizedWeights quantize_rtn(ConstMatrixView<float> w,
+                              const QuantConfig& cfg) {
+  const index_t k = w.rows(), n = w.cols();
+  MARLIN_CHECK(k > 0 && n > 0, "empty weight matrix");
+  if (cfg.group_size != kPerColumn) {
+    MARLIN_CHECK(cfg.group_size > 0, "group size must be positive");
+  }
+  QuantizedWeights q(k, n, cfg);
+
+  const index_t g = cfg.group_size == kPerColumn ? k : cfg.group_size;
+  std::vector<float> col_group;
+  col_group.reserve(static_cast<std::size_t>(g));
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t g0 = 0; g0 < k; g0 += g) {
+      const index_t g1 = std::min(k, g0 + g);
+      col_group.clear();
+      for (index_t i = g0; i < g1; ++i) col_group.push_back(w(i, j));
+
+      const float s = cfg.clip_search
+                          ? search_clipped_scale(col_group, cfg.bits)
+                          : symmetric_scale(col_group, cfg.bits, 1.0f);
+      const Half sh(s);
+      q.scales(cfg.group_of_row(g0), j) = sh;
+      for (index_t i = g0; i < g1; ++i) {
+        q.codes(i, j) = encode_symmetric(w(i, j), sh.to_float(), cfg.bits);
+      }
+    }
+  }
+  return q;
+}
+
+double reconstruction_mse(ConstMatrixView<float> w,
+                          const QuantizedWeights& q) {
+  MARLIN_CHECK(w.rows() == q.k && w.cols() == q.n, "shape mismatch");
+  double err = 0.0;
+  for (index_t i = 0; i < q.k; ++i) {
+    for (index_t j = 0; j < q.n; ++j) {
+      const double d = w(i, j) - q.decode(i, j);
+      err += d * d;
+    }
+  }
+  return err / (static_cast<double>(q.k) * static_cast<double>(q.n));
+}
+
+}  // namespace marlin::quant

@@ -1,0 +1,44 @@
+#pragma once
+// Uniform quantization primitives: the paper's §2.2 asymmetric min-max
+// definition (used for analysis/tests) and the symmetric round-to-nearest
+// (RTN) quantizer that produces MARLIN-format weights.
+
+#include <span>
+#include <vector>
+
+#include "quant/qweights.hpp"
+#include "util/matrix.hpp"
+
+namespace marlin::quant {
+
+/// Paper §2.2: Q(v, b) = round((v - z) / s) with z = min(v),
+/// s = (max(v) - min(v)) / (2^b - 1). Returns integer levels in [0, 2^b-1].
+struct AsymmetricParams {
+  float scale = 1.0f;
+  float zero = 0.0f;
+};
+AsymmetricParams asymmetric_params(std::span<const float> v, int bits);
+std::vector<int> quantize_asymmetric(std::span<const float> v, int bits,
+                                     const AsymmetricParams& p);
+std::vector<float> dequantize_asymmetric(std::span<const int> q,
+                                         const AsymmetricParams& p);
+
+/// Symmetric scale for a group: s = max|v| / (2^(b-1) - 1), so the code
+/// range [-(2^(b-1)-1), 2^(b-1)-1] covers the data. `clip` in (0, 1]
+/// shrinks the scale (clipping outliers), which the §3.5 search sweeps.
+float symmetric_scale(std::span<const float> v, int bits, float clip = 1.0f);
+
+/// Encode one value against a symmetric scale: clamp(round(v/s), -8, 7)+8
+/// for 4 bits. Returns the stored code in [0, 2^b).
+std::uint8_t encode_symmetric(float v, float scale, int bits);
+
+/// Round-to-nearest quantization of a K x N weight matrix into MARLIN's
+/// symmetric grouped format. If cfg.clip_search is set, per-group clipping
+/// thresholds are chosen by minimising the group's squared reconstruction
+/// error over a small grid (paper §3.5 modification (a)).
+QuantizedWeights quantize_rtn(ConstMatrixView<float> w, const QuantConfig& cfg);
+
+/// Mean squared reconstruction error ||W - deq(Q)||^2 / (K*N).
+double reconstruction_mse(ConstMatrixView<float> w, const QuantizedWeights& q);
+
+}  // namespace marlin::quant

@@ -1,0 +1,153 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace marlin::serve {
+
+const char* to_string(WeightFormat f) {
+  switch (f) {
+    case WeightFormat::kFp16:
+      return "vLLM FP16";
+    case WeightFormat::kMarlin:
+      return "vLLM MARLIN";
+    case WeightFormat::kSparseMarlin:
+      return "vLLM Sparse-MARLIN";
+  }
+  return "?";
+}
+
+namespace {
+
+baselines::KernelModelPtr make_kernel(WeightFormat f) {
+  switch (f) {
+    case WeightFormat::kFp16:
+      return baselines::make_kernel_model("fp16");
+    case WeightFormat::kMarlin:
+      return baselines::make_kernel_model("marlin");
+    case WeightFormat::kSparseMarlin:
+      return baselines::make_kernel_model("sparse-marlin");
+  }
+  return nullptr;
+}
+
+/// Megatron sharding: the first linear of each pair splits N, the second
+/// splits K; both keep per-GPU work at 1/g with two all-reduces per block.
+core::MatmulProblem shard(const LayerShape& l, index_t m, int num_gpus,
+                          index_t group_size, bool split_n) {
+  core::MatmulProblem p;
+  p.m = m;
+  p.k = split_n ? l.k : std::max<index_t>(64, l.k / num_gpus);
+  p.n = split_n ? std::max<index_t>(64, l.n / num_gpus) : l.n;
+  p.group_size = group_size;
+  return p;
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(std::move(cfg)), kernel_(make_kernel(cfg_.format)) {
+  MARLIN_CHECK(cfg_.num_gpus >= 1, "need at least one GPU");
+}
+
+double Engine::linear_layers_seconds(index_t m) const {
+  if (const auto it = linear_cache_.find(m); it != linear_cache_.end()) {
+    return it->second;
+  }
+  double per_block = 0.0;
+  const auto layers = block_linear_layers(cfg_.model);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const bool split_n = layers[i].name == "qkv_proj" ||
+                         layers[i].name == "gate_up_proj" ||
+                         layers[i].name == "up_proj";
+    const core::MatmulProblem p =
+        shard(layers[i], m, cfg_.num_gpus, cfg_.group_size, split_n);
+    per_block += kernel_->estimate(p, cfg_.gpu, cfg_.clock).seconds;
+  }
+  double total = per_block * static_cast<double>(cfg_.model.num_layers);
+  // LM head stays FP16 in all configurations (vLLM does not quantize it).
+  core::MatmulProblem head;
+  head.m = m;
+  head.k = cfg_.model.hidden;
+  head.n = std::max<index_t>(64, cfg_.model.vocab / cfg_.num_gpus);
+  head.group_size = cfg_.group_size;
+  total += baselines::make_kernel_model("fp16")
+               ->estimate(head, cfg_.gpu, cfg_.clock)
+               .seconds;
+  linear_cache_[m] = total;
+  return total;
+}
+
+double Engine::attention_decode_seconds(index_t batch,
+                                        double avg_context) const {
+  // Paged attention is dominated by streaming the KV cache of every
+  // sequence: 2 (K and V) * layers * kv_heads * head_dim * ctx * 2 bytes.
+  const double kv_bytes = 2.0 * static_cast<double>(cfg_.model.num_layers) *
+                          static_cast<double>(cfg_.model.num_kv_heads) *
+                          static_cast<double>(cfg_.model.head_dim) *
+                          avg_context * static_cast<double>(batch) * 2.0 /
+                          cfg_.num_gpus;
+  const double t_mem =
+      kv_bytes /
+      (cfg_.gpu.gmem_bytes_per_s() * cfg_.attention_mem_efficiency);
+  // One fused attention kernel launch per layer.
+  const double t_launch =
+      static_cast<double>(cfg_.model.num_layers) * cfg_.gpu.kernel_launch_s;
+  return t_mem + t_launch;
+}
+
+double Engine::allreduce_seconds(index_t tokens) const {
+  if (cfg_.num_gpus <= 1) return 0.0;
+  const double g = cfg_.num_gpus;
+  const double bytes = static_cast<double>(tokens) *
+                       static_cast<double>(cfg_.model.hidden) * 2.0;
+  const double ring = 2.0 * (g - 1.0) / g * bytes /
+                      (cfg_.gpu.interconnect_bandwidth_gbs * 1e9);
+  const double per_op = ring + cfg_.gpu.interconnect_latency_s;
+  // Two all-reduces per transformer block (attention out, MLP down).
+  return 2.0 * static_cast<double>(cfg_.model.num_layers) * per_op;
+}
+
+double Engine::decode_step_seconds(index_t batch, double avg_context) const {
+  MARLIN_CHECK(batch >= 1, "batch must be >= 1");
+  // Bucket contexts to keep the memo small (64-token buckets).
+  const index_t ctx_bucket = static_cast<index_t>(avg_context / 64.0);
+  const auto key = std::make_pair(batch, ctx_bucket);
+  if (const auto it = decode_cache_.find(key); it != decode_cache_.end()) {
+    return it->second;
+  }
+  const double ctx = static_cast<double>(ctx_bucket) * 64.0 + 32.0;
+  const double t = linear_layers_seconds(batch) +
+                   attention_decode_seconds(batch, ctx) +
+                   allreduce_seconds(batch) + cfg_.step_overhead_s;
+  decode_cache_[key] = t;
+  return t;
+}
+
+double Engine::prefill_seconds(index_t batch, index_t prompt_tokens) const {
+  const index_t m = batch * prompt_tokens;
+  // Quadratic attention term: ~4 * tokens * ctx * q_heads * head_dim FLOPs
+  // per layer (scores + values), at moderate tensor-core efficiency.
+  const double attn_flops =
+      4.0 * static_cast<double>(m) * static_cast<double>(prompt_tokens) *
+      static_cast<double>(cfg_.model.num_heads) *
+      static_cast<double>(cfg_.model.head_dim) *
+      static_cast<double>(cfg_.model.num_layers) / cfg_.num_gpus;
+  const double clock = cfg_.clock.effective_clock_ghz(cfg_.gpu, 0.0);
+  const double t_attn = attn_flops / (cfg_.gpu.tc_flops(clock) * 0.5);
+  return linear_layers_seconds(m) + t_attn + allreduce_seconds(m) +
+         cfg_.prefill_overhead_s;
+}
+
+double Engine::weight_bytes_per_gpu() const {
+  const double params = cfg_.model.num_params();
+  const double bits = cfg_.format == WeightFormat::kFp16 ? 16.0
+                      : cfg_.format == WeightFormat::kMarlin
+                          ? 4.125
+                          : 3.125;
+  return params * bits / 8.0 / cfg_.num_gpus;
+}
+
+}  // namespace marlin::serve

@@ -1,0 +1,36 @@
+#pragma once
+// Discrete-event serving simulator (paper Figures 15/16): Poisson client
+// arrivals at a given QPS, continuous batching, TPOT and TTFT metrics.
+//
+// Scheduling follows vLLM's continuous batching: newly arrived requests
+// are admitted (up to max_batch) and prefilled as a batch; all running
+// requests then advance one token per engine step. Because MARLIN's steps
+// are faster, the *average batch size the engine observes is smaller* at
+// equal QPS — the mechanism the paper gives for speedups growing with QPS.
+
+#include "serve/engine.hpp"
+
+namespace marlin::serve {
+
+struct ServingConfig {
+  double qps = 1.0;
+  double duration_s = 120.0;  // arrival window; sim drains afterwards
+  index_t input_tokens = 64;
+  index_t output_tokens = 64;
+  index_t max_batch = 128;
+  std::uint64_t seed = 42;
+};
+
+struct ServingMetrics {
+  double mean_tpot_ms = 0;  // time per output token (after the first)
+  double mean_ttft_ms = 0;  // time to first token
+  double p90_tpot_ms = 0;
+  double p90_ttft_ms = 0;
+  double mean_batch = 0;  // average decode batch the engine observed
+  index_t completed = 0;
+};
+
+ServingMetrics simulate_serving(const Engine& engine,
+                                const ServingConfig& cfg);
+
+}  // namespace marlin::serve

@@ -1,0 +1,125 @@
+#include "sparse/compressed.hpp"
+
+#include "util/error.hpp"
+
+namespace marlin::sparse {
+
+Sparse24Weights compress_24(const quant::QuantizedWeights& q,
+                            const SparseMask& mask) {
+  MARLIN_CHECK(is_valid_24(mask), "mask is not valid 2:4");
+  MARLIN_CHECK(mask.rows() == q.k && mask.cols() == q.n, "shape mismatch");
+  MARLIN_CHECK(q.k % 4 == 0, "K must be divisible by 4");
+
+  Sparse24Weights s;
+  s.k = q.k;
+  s.n = q.n;
+  s.cfg = q.cfg;
+  s.nz_codes = Matrix<std::uint8_t>(q.k / 2, q.n);
+  s.meta = Matrix<std::uint8_t>(q.k / 4, q.n);
+  s.scales = q.scales;
+
+  for (index_t j = 0; j < q.n; ++j) {
+    for (index_t g = 0; g < q.k / 4; ++g) {
+      int idx[2] = {-1, -1};
+      int found = 0;
+      for (int t = 0; t < 4; ++t) {
+        if (mask.keep(g * 4 + t, j)) {
+          MARLIN_ASSERT(found < 2);
+          idx[found++] = t;
+        } else {
+          // A pruned position must decode to exactly zero (code 8 with the
+          // symmetric zero-point) or the compression would lose information.
+          MARLIN_CHECK(q.codes(g * 4 + t, j) == 8,
+                       "pruned position has non-zero code");
+        }
+      }
+      MARLIN_ASSERT(found == 2);
+      s.meta(g, j) = static_cast<std::uint8_t>(idx[0] | (idx[1] << 2));
+      s.nz_codes(g * 2 + 0, j) = q.codes(g * 4 + idx[0], j);
+      s.nz_codes(g * 2 + 1, j) = q.codes(g * 4 + idx[1], j);
+    }
+  }
+  return s;
+}
+
+Matrix<float> decompress_24(const Sparse24Weights& s) {
+  Matrix<float> out(s.k, s.n, 0.0f);
+  for (index_t j = 0; j < s.n; ++j) {
+    for (index_t g = 0; g < s.k / 4; ++g) {
+      const auto [i0, i1] = meta_select(s, g, j);
+      for (int t = 0; t < 2; ++t) {
+        const index_t row = g * 4 + (t == 0 ? i0 : i1);
+        const int code = s.nz_codes(g * 2 + t, j);
+        const float scale =
+            s.scales(s.cfg.group_of_row(row), j).to_float();
+        out(row, j) = static_cast<float>(code - 8) * scale;
+      }
+    }
+  }
+  return out;
+}
+
+std::pair<int, int> meta_select(const Sparse24Weights& s, index_t group,
+                                index_t col) {
+  const std::uint8_t nib = s.meta(group, col);
+  return {nib & 0x3, (nib >> 2) & 0x3};
+}
+
+std::vector<std::uint16_t> pack_metadata_words(const Sparse24Weights& s) {
+  MARLIN_CHECK(s.k % 16 == 0, "K must be divisible by 16 for metadata words");
+  const index_t words_per_col = s.k / 16;
+  std::vector<std::uint16_t> out(
+      static_cast<std::size_t>(words_per_col * s.n));
+  for (index_t j = 0; j < s.n; ++j) {
+    for (index_t w = 0; w < words_per_col; ++w) {
+      std::uint16_t word = 0;
+      for (int t = 0; t < 4; ++t) {
+        word = static_cast<std::uint16_t>(
+            word | (static_cast<std::uint16_t>(s.meta(w * 4 + t, j)) << (4 * t)));
+      }
+      out[static_cast<std::size_t>(j * words_per_col + w)] = word;
+    }
+  }
+  return out;
+}
+
+ReshuffledMeta reshuffle_metadata(const Sparse24Weights& s) {
+  MARLIN_CHECK(s.k % 16 == 0 && s.n % 8 == 0,
+               "need 16-row slabs and 8-column blocks");
+  const auto words = pack_metadata_words(s);
+  const index_t words_per_col = s.k / 16;
+  const index_t slabs = words_per_col;
+  const index_t blocks = s.n / 8;
+
+  // Figure 8 (2b): within an 8-column block, the 128-bit vector read by one
+  // 8-thread metadata group packs columns in the order
+  //   0, 2, 4, 6, 1, 3, 5, 7 — threads T0/T1 then hold the metadata for the
+  // first two mma.sp steps and T2/T3 for the remaining two, satisfying the
+  // sparsity-selector constraint.
+  static constexpr int kColOrder[8] = {0, 2, 4, 6, 1, 3, 5, 7};
+
+  ReshuffledMeta r;
+  r.words.resize(static_cast<std::size_t>(slabs));
+  r.source_col.resize(static_cast<std::size_t>(slabs));
+  for (index_t slab = 0; slab < slabs; ++slab) {
+    auto& wrow = r.words[static_cast<std::size_t>(slab)];
+    auto& crow = r.source_col[static_cast<std::size_t>(slab)];
+    wrow.resize(static_cast<std::size_t>(blocks));
+    crow.resize(static_cast<std::size_t>(blocks));
+    for (index_t b = 0; b < blocks; ++b) {
+      auto& wv = wrow[static_cast<std::size_t>(b)];
+      auto& cv = crow[static_cast<std::size_t>(b)];
+      wv.resize(8);
+      cv.resize(8);
+      for (int i = 0; i < 8; ++i) {
+        const index_t col = b * 8 + kColOrder[i];
+        wv[static_cast<std::size_t>(i)] =
+            words[static_cast<std::size_t>(col * words_per_col + slab)];
+        cv[static_cast<std::size_t>(i)] = col;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace marlin::sparse

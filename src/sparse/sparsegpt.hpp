@@ -1,0 +1,29 @@
+#pragma once
+// SparseGPT-lite: one-shot joint 2:4 pruning + INT4 quantization
+// (Frantar & Alistarh 2023, simplified).
+//
+// Rows of the K x N weight matrix are processed top-to-bottom as in GPTQ.
+// At the start of every aligned 4-row block, each column selects the two
+// rows to prune by the OBS saliency w^2 / [U]_rr^2 evaluated on the
+// *error-compensated* weights (U = upper Cholesky factor of H^{-1}).
+// Pruned entries are driven to exactly zero (code 8), kept entries are
+// quantized, and both errors are propagated through U — so later rows
+// compensate for earlier pruning, the property that separates SparseGPT
+// from magnitude pruning.
+
+#include "quant/gptq.hpp"
+#include "sparse/two_four.hpp"
+
+namespace marlin::sparse {
+
+struct SparseGptResult {
+  quant::QuantizedWeights weights;  // dense codes with exact zeros at pruned
+  SparseMask mask;
+  double hessian_weighted_error = 0.0;
+};
+
+SparseGptResult sparsegpt_24_quantize(ConstMatrixView<float> w,
+                                      const Matrix<double>& hessian,
+                                      const quant::GptqConfig& cfg);
+
+}  // namespace marlin::sparse

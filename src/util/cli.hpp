@@ -1,0 +1,35 @@
+#pragma once
+// Minimal command-line flag parser for the examples and bench binaries.
+// Supports `--name=value`, `--name value`, and bare `--flag` booleans.
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace marlin {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace marlin

@@ -1,0 +1,41 @@
+#pragma once
+// Error-checking helpers used across the library.
+//
+// MARLIN_CHECK is used for *user-facing argument validation* (throws), while
+// MARLIN_ASSERT guards internal invariants (also throws, so tests can observe
+// violations instead of aborting the process).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace marlin {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace marlin
+
+#define MARLIN_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::marlin::detail::throw_check_failure(#cond, __FILE__, __LINE__,       \
+                                            (std::ostringstream{} << msg)    \
+                                                .str());                     \
+    }                                                                        \
+  } while (0)
+
+#define MARLIN_ASSERT(cond) MARLIN_CHECK(cond, "internal invariant violated")

@@ -1,0 +1,81 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace marlin {
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (unsigned i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t)>& fn) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+
+  struct State {
+    std::atomic<std::int64_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } state;
+  state.remaining.store(n);
+
+  auto run_one = [&state, &fn](std::int64_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      const std::lock_guard lock(state.error_mutex);
+      if (!state.error) state.error = std::current_exception();
+    }
+    if (state.remaining.fetch_sub(1) == 1) {
+      const std::lock_guard lock(state.done_mutex);
+      state.done_cv.notify_all();
+    }
+  };
+
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::int64_t i = begin; i < end; ++i) {
+      queue_.emplace([&run_one, i] { run_one(i); });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(state.done_mutex);
+  state.done_cv.wait(lock, [&state] { return state.remaining.load() == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace marlin

@@ -1,0 +1,48 @@
+#pragma once
+// Work-stealing-free, simple thread pool with a blocking parallel_for.
+//
+// The functional GPU simulator executes one "SM" per task; on a many-core
+// host those run concurrently, on a single-core host the pool degrades to
+// serial execution with identical results (tasks are independent by
+// construction — the striped global reduction is ordered via its own
+// lock-buffer protocol, not via the pool).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace marlin {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs fn(i) for i in [begin, end), blocking until all complete.
+  /// Exceptions from tasks are rethrown (first one wins).
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace marlin

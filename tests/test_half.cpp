@@ -1,0 +1,142 @@
+// Software binary16: exhaustive and property tests. The dequantisation bit
+// trick depends on exact IEEE behaviour, so this suite is strict.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/half.hpp"
+#include "util/rng.hpp"
+
+namespace marlin {
+namespace {
+
+TEST(Half, ZeroAndSignedZero) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+  EXPECT_EQ(Half(0.0f), Half(-0.0f));  // IEEE: -0 == +0
+}
+
+TEST(Half, KnownConstants) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xc000u);
+  EXPECT_EQ(Half(1024.0f).bits(), 0x6400u);  // the dequant exponent splice
+  EXPECT_EQ(Half(1032.0f).bits(), 0x6408u);  // the dequant magic constant
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bffu);  // max finite half
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).is_inf());  // rounds up past max finite
+  EXPECT_TRUE(Half(1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).is_inf());
+  EXPECT_TRUE(Half(-1e10f).is_negative());
+}
+
+TEST(Half, NanPropagation) {
+  const Half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.is_nan());
+  EXPECT_TRUE(std::isnan(h.to_float()));
+  EXPECT_FALSE(h == h);  // NaN != NaN
+}
+
+TEST(Half, SubnormalsRepresentable) {
+  // Smallest subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(tiny).bits(), 0x0001u);
+  EXPECT_EQ(Half(tiny).to_float(), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(Half(big_sub).bits(), 0x03ffu);
+  EXPECT_EQ(Half(big_sub).to_float(), big_sub);
+}
+
+TEST(Half, UnderflowRoundsToZeroOrMinSubnormal) {
+  EXPECT_EQ(Half(std::ldexp(1.0f, -26)).bits(), 0x0000u);
+  // Exactly half of the smallest subnormal rounds to even (zero).
+  EXPECT_EQ(Half(std::ldexp(1.0f, -25)).bits(), 0x0000u);
+  // Just above half rounds up.
+  EXPECT_EQ(Half(std::ldexp(1.1f, -25)).bits(), 0x0001u);
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10 -> even (1.0).
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00u);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9 -> even (1+2^-9).
+  EXPECT_EQ(Half(1.0f + 3.0f * std::ldexp(1.0f, -11)).bits(), 0x3c02u);
+  // Slightly above halfway rounds up.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11) * 1.01f).bits(), 0x3c01u);
+}
+
+TEST(Half, MantissaOverflowBumpsExponent) {
+  // 2047.5 rounds to 2048 (mantissa all-ones + round up).
+  EXPECT_EQ(Half(2047.9f).to_float(), 2048.0f);
+}
+
+TEST(Half, ExhaustiveRoundTripAllBitPatterns) {
+  // Every finite half value must round-trip bit-exactly through float.
+  int checked = 0;
+  for (std::uint32_t b = 0; b <= 0xffffu; ++b) {
+    const auto bits = static_cast<std::uint16_t>(b);
+    const Half h = Half::from_bits(bits);
+    if (h.is_nan()) continue;  // NaN payloads may canonicalise
+    const Half rt(h.to_float());
+    ASSERT_EQ(rt.bits(), bits) << "bits=" << b;
+    ++checked;
+  }
+  EXPECT_GT(checked, 63000);
+}
+
+TEST(Half, ConversionMatchesNearbyintReference) {
+  // Randomised cross-check against a scaled-integer reference in the
+  // normal range.
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const float f = static_cast<float>(rng.uniform(-60000.0, 60000.0));
+    const Half h(f);
+    const float back = h.to_float();
+    // Error bounded by half ULP of the destination.
+    const float ulp = std::ldexp(
+        1.0f, std::max(-24, static_cast<int>(std::floor(std::log2(
+                                 std::max(1e-30f, std::abs(f))))) -
+                                 10));
+    EXPECT_LE(std::abs(back - f), ulp * 0.5f + 1e-30f) << "f=" << f;
+  }
+}
+
+TEST(Half, ArithmeticViaFloat) {
+  const Half a(1.5f), b(2.25f);
+  EXPECT_EQ((a + b).to_float(), 3.75f);
+  EXPECT_EQ((b - a).to_float(), 0.75f);
+  EXPECT_EQ((a * b).to_float(), 3.375f);
+  EXPECT_EQ((-a).to_float(), -1.5f);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b >= a);
+}
+
+TEST(Half, SmallIntegersExact) {
+  // Integers in [-2048, 2048] are exactly representable — the dequant
+  // result range [-8, 7] trivially so.
+  for (int v = -2048; v <= 2048; ++v) {
+    EXPECT_EQ(Half(static_cast<float>(v)).to_float(), static_cast<float>(v));
+  }
+}
+
+class HalfSubtractionExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(HalfSubtractionExactness, DequantIdentity) {
+  // (1024 + v) - 1032 == v - 8 exactly, for every code v in [0, 15] — the
+  // algebra behind the lop3 dequantisation.
+  const int v = GetParam();
+  const Half spliced = Half::from_bits(static_cast<std::uint16_t>(0x6400 + v));
+  EXPECT_EQ(spliced.to_float(), 1024.0f + static_cast<float>(v));
+  const Half magic = Half::from_bits(0x6408);
+  EXPECT_EQ((spliced - magic).to_float(), static_cast<float>(v - 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, HalfSubtractionExactness,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace marlin

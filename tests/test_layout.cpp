@@ -1,0 +1,208 @@
+// Layout library: mma fragment maps, the i(i^j) shared-memory swizzle
+// (verified conflict-free against the bank model), ldmatrix addressing,
+// and the MARLIN weight/scale repack round trip.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpusim/smem_bank.hpp"
+#include "layout/fragment.hpp"
+#include "layout/ldmatrix.hpp"
+#include "layout/repack.hpp"
+#include "layout/swizzle.hpp"
+#include "quant/uniform.hpp"
+#include "util/rng.hpp"
+
+namespace marlin::layout {
+namespace {
+
+TEST(Fragment, ACoversAll256ElementsOnce) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int idx = 0; idx < 8; ++idx) {
+      const Coord c = mma_a_coord(lane, idx);
+      EXPECT_GE(c.row, 0);
+      EXPECT_LT(c.row, 16);
+      EXPECT_GE(c.col, 0);
+      EXPECT_LT(c.col, 16);
+      EXPECT_TRUE(seen.insert({c.row, c.col}).second)
+          << "duplicate element (" << c.row << "," << c.col << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Fragment, BCoversK16N8Once) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int idx = 0; idx < 4; ++idx) {
+      const Coord c = mma_b_coord(lane, idx);
+      EXPECT_LT(c.row, 16);
+      EXPECT_LT(c.col, 8);
+      EXPECT_TRUE(seen.insert({c.row, c.col}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(Fragment, CCoversM16N8Once) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int idx = 0; idx < 4; ++idx) {
+      const Coord c = mma_c_coord(lane, idx);
+      EXPECT_LT(c.row, 16);
+      EXPECT_LT(c.col, 8);
+      EXPECT_TRUE(seen.insert({c.row, c.col}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(Fragment, WeightBlock16CoversAll256Once) {
+  // The per-thread 8 weights of a 16x16 block (two n8 mma operands).
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < 32; ++lane) {
+    for (int w = 0; w < 8; ++w) {
+      const Coord c = weight_block16_coord(lane, w);
+      EXPECT_LT(c.row, 16);
+      EXPECT_LT(c.col, 16);
+      EXPECT_TRUE(seen.insert({c.row, c.col}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Swizzle, IsAPermutationPerRowGroup) {
+  // For any power-of-two row count <= vectors_per_row, each row maps its
+  // vector columns to a permutation (no two logical vectors collide).
+  const int vpr = 8;
+  std::set<std::uint64_t> offsets;
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < vpr; ++c) {
+      EXPECT_TRUE(offsets.insert(swizzled_offset_bytes(r, c, vpr)).second);
+    }
+  }
+  EXPECT_EQ(offsets.size(), 16u * 8u);
+}
+
+TEST(Swizzle, LdmatrixConflictFreeWhereLinearIsNot) {
+  // ldmatrix of a 16x16 A block: with the swizzle, all four 8-thread
+  // phases are conflict-free; the linear layout conflicts badly (8 rows
+  // x same vector column all hit one bank group).
+  for (int block_vcol = 0; block_vcol < 4; ++block_vcol) {
+    const auto sw = ldmatrix_x4_addresses(0, block_vcol, 8, true);
+    const auto lin = ldmatrix_x4_addresses(0, block_vcol, 8, false);
+    EXPECT_EQ(gpusim::warp_conflict_transactions(sw), 1)
+        << "swizzled ldmatrix must be conflict-free, vcol=" << block_vcol;
+    EXPECT_GT(gpusim::warp_conflict_transactions(lin), 1)
+        << "linear layout must conflict (sanity of the bank model)";
+  }
+}
+
+TEST(Swizzle, StoreOfContiguousRowsConflictFree) {
+  // cp.async writes of a warp (contiguous logical vectors) must also be
+  // conflict-free under the swizzle — the undocumented property §3.4 notes.
+  for (int row0 = 0; row0 < 16; row0 += 4) {
+    const auto sw = smem_store_addresses(row0, 8, true);
+    EXPECT_EQ(gpusim::warp_conflict_transactions(sw), 1) << "row0=" << row0;
+  }
+}
+
+TEST(Swizzle, StorePreservesContiguousFootprint) {
+  // A warp writing 4 rows x 8 vectors lands on exactly that 512-byte
+  // region, merely permuted ("written permuted but still overall
+  // contiguously").
+  const auto sw = smem_store_addresses(4, 8, true);
+  std::set<std::uint64_t> got(sw.begin(), sw.end());
+  std::set<std::uint64_t> want;
+  for (int i = 0; i < 32; ++i) {
+    want.insert(static_cast<std::uint64_t>(4 * 8 * 16 + i * 16));
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(ScalePerm, IsAPermutation) {
+  const auto perm = scale_chunk_perm();
+  std::set<int> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(ScalePerm, ThreadGroupScalesAreContiguous) {
+  // Thread-group tg covers original columns tg + 8*m; packed positions
+  // tg*8..tg*8+7 — one 16-byte vector per thread group.
+  const auto perm = scale_chunk_perm();
+  for (int tg = 0; tg < 8; ++tg) {
+    for (int m = 0; m < 8; ++m) {
+      EXPECT_EQ(perm[static_cast<std::size_t>(tg * 8 + m)], m * 8 + tg);
+    }
+  }
+}
+
+quant::QuantizedWeights random_qweights(index_t k, index_t n, index_t group,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<float> w(k, n);
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      w(i, j) = static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+  quant::QuantConfig cfg;
+  cfg.group_size = group;
+  return quant::quantize_rtn(w.view(), cfg);
+}
+
+struct RepackCase {
+  index_t k, n, group;
+};
+
+class RepackRoundTrip : public ::testing::TestWithParam<RepackCase> {};
+
+TEST_P(RepackRoundTrip, UnpackEqualsDirectDequant) {
+  const auto [k, n, group] = GetParam();
+  const auto q = random_qweights(k, n, group, 1000 + k + n);
+  const MarlinWeights mw = marlin_repack(q);
+  const Matrix<float> direct = q.dequantize();
+  const Matrix<float> viapack = marlin_unpack_dequant(mw);
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      ASSERT_EQ(direct(i, j), viapack(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RepackRoundTrip,
+    ::testing::Values(RepackCase{64, 64, 64}, RepackCase{128, 64, 128},
+                      RepackCase{64, 128, quant::kPerColumn},
+                      RepackCase{192, 256, 64}, RepackCase{128, 192, 32}));
+
+TEST(Repack, PackedSizeIsHalfByteGranular) {
+  const auto q = random_qweights(128, 128, 64, 9);
+  const MarlinWeights mw = marlin_repack(q);
+  EXPECT_EQ(mw.weight_bytes(), 128 * 128 / 2);
+  EXPECT_EQ(mw.scale_bytes(), (128 / 64) * 128 * 2);
+}
+
+TEST(Repack, EachThreadVectorIsContiguous16Bytes) {
+  // Stream layout: the 4 uint32 of (slab, chunk, lane) must be adjacent.
+  const auto q = random_qweights(64, 64, 64, 10);
+  const MarlinWeights mw = marlin_repack(q);
+  for (int lane = 0; lane < 32; ++lane) {
+    const auto base = mw.packed_index(0, 0, lane, 0);
+    for (int b = 1; b < 4; ++b) {
+      EXPECT_EQ(mw.packed_index(0, 0, lane, b), base + static_cast<std::size_t>(b));
+    }
+  }
+}
+
+TEST(Repack, RejectsMisalignedShapes) {
+  EXPECT_THROW(marlin_repack(random_qweights(60, 64, 60, 1)), marlin::Error);
+  EXPECT_THROW(marlin_repack(random_qweights(64, 60, 64, 1)), marlin::Error);
+}
+
+}  // namespace
+}  // namespace marlin::layout

@@ -1,0 +1,242 @@
+// Timing models: the quantitative *shape* claims of paper §5.1 —
+// near-ideal memory-bound speedup to batch 16-32, crossover near 64,
+// comparator collapse, sparse uplift, locked-clock behaviour.
+
+#include <gtest/gtest.h>
+
+#include "baselines/kernel_model.hpp"
+#include "core/timing.hpp"
+#include "gpusim/device.hpp"
+
+namespace marlin::core {
+namespace {
+
+using baselines::make_kernel_model;
+using gpusim::ClockMode;
+
+// The paper's Figure 1 matrix: "72k x 18k", group 128.
+MatmulProblem fig1_problem(index_t m) {
+  return {m, 18432, 73728, 128, false};
+}
+
+double speedup(const std::string& kernel, index_t m,
+               const gpusim::DeviceSpec& d, ClockMode mode) {
+  const gpusim::ClockModel clock{mode};
+  const auto fp16 = make_kernel_model("fp16");
+  const auto k = make_kernel_model(kernel);
+  return fp16->estimate(fig1_problem(m), d, clock).seconds /
+         k->estimate(fig1_problem(m), d, clock).seconds;
+}
+
+TEST(MarlinTiming, NearIdealSpeedupAtSmallBatch) {
+  // Paper: "close to the maximum possible 3.87x speedup up to batchsizes
+  // around 16-32".
+  const auto d = gpusim::a10();
+  for (const index_t m : {1, 2, 4, 8, 16}) {
+    const double s = speedup("marlin", m, d, ClockMode::kBoost);
+    EXPECT_GT(s, 3.4) << "batch " << m;
+    EXPECT_LT(s, 4.0) << "batch " << m;
+  }
+}
+
+TEST(MarlinTiming, GradualDecayTowards1p5At128) {
+  // Paper: "speedups gradually reduce, towards 1.5x at batch size 128".
+  const auto d = gpusim::a10();
+  const double s32 = speedup("marlin", 32, d, ClockMode::kBoost);
+  const double s64 = speedup("marlin", 64, d, ClockMode::kBoost);
+  const double s128 = speedup("marlin", 128, d, ClockMode::kBoost);
+  EXPECT_GT(s32, s64);
+  EXPECT_GT(s64, s128);
+  EXPECT_GT(s128, 1.2);
+  EXPECT_LT(s128, 2.2);
+}
+
+TEST(MarlinTiming, TracksIdealWithinTenPercent) {
+  // MARLIN's curve must hug the ideal bound at every batch size (Fig. 1).
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto marlin = make_kernel_model("marlin");
+  const auto ideal = make_kernel_model("ideal-int4");
+  for (const index_t m : {1, 4, 16, 32, 64, 128}) {
+    const double t_m = marlin->estimate(fig1_problem(m), d, clock).seconds;
+    const double t_i = ideal->estimate(fig1_problem(m), d, clock).seconds;
+    EXPECT_LT(t_m / t_i, 1.25) << "batch " << m;
+    EXPECT_GE(t_m / t_i, 0.97) << "ideal must lower-bound marlin";
+  }
+}
+
+TEST(MarlinTiming, MonotoneInBatch) {
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto marlin = make_kernel_model("marlin");
+  double prev = 0.0;
+  for (index_t m = 1; m <= 256; m *= 2) {
+    const double t = marlin->estimate(fig1_problem(m), d, clock).seconds;
+    EXPECT_GE(t, prev * 0.999) << "batch " << m;
+    prev = t;
+  }
+}
+
+TEST(MarlinTiming, ComparatorsCollapseWithBatch) {
+  // Paper Fig. 1: comparators are competitive at batch 1 but fall below
+  // 1x between batch 16 and 64.
+  const auto d = gpusim::a10();
+  for (const char* name :
+       {"torch-int4", "exllamav2", "awq", "bitsandbytes"}) {
+    const double s1 = speedup(name, 1, d, ClockMode::kBoost);
+    const double s128 = speedup(name, 128, d, ClockMode::kBoost);
+    EXPECT_GT(s1, 1.8) << name;
+    EXPECT_LT(s128, 1.1) << name;
+    EXPECT_LT(s128, s1 / 2.5) << name << " must collapse";
+  }
+  // And MARLIN dominates every comparator at every batch size.
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto marlin = make_kernel_model("marlin");
+  for (const index_t m : {1, 8, 32, 128}) {
+    const double t_marlin =
+        marlin->estimate(fig1_problem(m), d, clock).seconds;
+    for (const auto& comp : baselines::open_source_comparators()) {
+      EXPECT_LT(t_marlin, comp->estimate(fig1_problem(m), d, clock).seconds)
+          << comp->name() << " at batch " << m;
+    }
+  }
+}
+
+TEST(MarlinTiming, LockedBaseClockStillNearIdeal) {
+  // Paper Fig. 10: at locked base clock MARLIN remains near the (base
+  // clock) ideal while comparators lose even more ground.
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kLockedBase};
+  const auto marlin = make_kernel_model("marlin");
+  const auto ideal = make_kernel_model("ideal-int4");
+  for (const index_t m : {1, 16, 32}) {
+    const double t_m = marlin->estimate(fig1_problem(m), d, clock).seconds;
+    const double t_i = ideal->estimate(fig1_problem(m), d, clock).seconds;
+    EXPECT_LT(t_m / t_i, 1.25) << "batch " << m;
+  }
+  // Comparators: base clock hurts their relative speedup more than
+  // MARLIN's (their CUDA-core dequant scales with the clock).
+  for (const char* name : {"exllamav2", "awq"}) {
+    const double boost16 = speedup(name, 16, d, ClockMode::kBoost);
+    const double base16 = speedup(name, 16, d, ClockMode::kLockedBase);
+    EXPECT_LT(base16, boost16) << name;
+  }
+}
+
+TEST(MarlinTiming, PrefillWithinTenPercentOfFp16) {
+  // Paper §5.1: "even in this case, MARLIN is nearly identical to an
+  // uncompressed compute-bound matmul up to batch size 1024, with only
+  // ~10% slow-down at even larger input shapes" (on A100).
+  const auto d = gpusim::a100_80g();
+  const gpusim::ClockModel clock{ClockMode::kAutoThermal};
+  const auto marlin = make_kernel_model("marlin");
+  const auto fp16 = make_kernel_model("fp16");
+  for (const index_t m : {1024, 4096}) {
+    MatmulProblem p{m, 8192, 8192, 128, false};
+    const double t_m = marlin->estimate(p, d, clock).seconds;
+    const double t_f = fp16->estimate(p, d, clock).seconds;
+    EXPECT_LT(t_m / t_f, 1.15) << "batch " << m;
+  }
+}
+
+TEST(SparseTiming, UpliftOverDenseGrowsWithBatch) {
+  // Paper Fig. 12: up to ~65% additional speedup, realised in the
+  // compute-bound regime (sparse tensor cores at 2x).
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto dense = make_kernel_model("marlin");
+  const auto sparse = make_kernel_model("sparse-marlin");
+  double uplift_small = 0, uplift_large = 0;
+  {
+    const auto p = fig1_problem(4);
+    uplift_small = dense->estimate(p, d, clock).seconds /
+                   sparse->estimate(p, d, clock).seconds;
+  }
+  {
+    const auto p = fig1_problem(128);
+    uplift_large = dense->estimate(p, d, clock).seconds /
+                   sparse->estimate(p, d, clock).seconds;
+  }
+  EXPECT_GT(uplift_small, 1.1);  // memory side: 0.75x bytes => ~1.33x
+  EXPECT_LT(uplift_small, 1.5);
+  EXPECT_GT(uplift_large, 1.5);  // compute side: ~2x
+  EXPECT_GT(uplift_large, uplift_small);
+}
+
+TEST(SparseTiming, SparseBeatsDenseEverywhere) {
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto dense = make_kernel_model("marlin");
+  const auto sparse = make_kernel_model("sparse-marlin");
+  for (index_t m = 1; m <= 512; m *= 4) {
+    const auto p = fig1_problem(m);
+    EXPECT_LT(sparse->estimate(p, d, clock).seconds,
+              dense->estimate(p, d, clock).seconds)
+        << "batch " << m;
+  }
+}
+
+TEST(Timing, Eq1ViolationMakesNarrowTilesSlower) {
+  // At batch 64, N_sm = 64 violates Eq. (1) (A re-reads exceed L2 budget);
+  // the wide 256 tile must win.
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto p = fig1_problem(64);
+  KernelConfig narrow;
+  narrow.n_sm_tile = 64;
+  narrow.num_warps = 4;
+  KernelConfig wide;
+  wide.n_sm_tile = 256;
+  const double t_narrow = marlin_estimate(p, narrow, d, clock).seconds;
+  const double t_wide = marlin_estimate(p, wide, d, clock).seconds;
+  EXPECT_LT(t_wide, t_narrow);
+}
+
+TEST(Timing, SmallerGpusGetBiggerRelativeSpeedupsOnRealLayers) {
+  // Paper Fig. 9: better speedups on 3090 than on A100 for the same
+  // (small) layer shapes — overheads weigh more on the faster part.
+  MatmulProblem layer{16, 4096, 4096, 128, false};
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto fp16 = make_kernel_model("fp16");
+  const auto marlin = make_kernel_model("marlin");
+  auto sp = [&](const gpusim::DeviceSpec& d) {
+    return fp16->estimate(layer, d, clock).seconds /
+           marlin->estimate(layer, d, clock).seconds;
+  };
+  EXPECT_GT(sp(gpusim::rtx3090()), sp(gpusim::a100_80g()));
+}
+
+TEST(Timing, ThermalThrottleCapsLongKernels) {
+  // Paper Fig. 11: long compute-heavy kernels drop towards the base-clock
+  // roof.
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kAutoThermal};
+  MatmulProblem big{4096, 32768, 32768, 128, false};
+  const auto est = core::marlin_estimate_auto(big, d, clock);
+  EXPECT_LT(est.effective_clock_ghz, d.boost_clock_ghz * 0.75);
+  EXPECT_GE(est.effective_clock_ghz, d.base_clock_ghz * 0.99);
+}
+
+TEST(Timing, EstimateTrafficConsistent) {
+  const auto d = gpusim::a10();
+  const gpusim::ClockModel clock{ClockMode::kBoost};
+  const auto p = fig1_problem(16);
+  const auto est = core::marlin_estimate_auto(p, d, clock);
+  // Weight bytes dominate GMEM reads; intensity must exceed 2/(bytes per
+  // weight) * ... sanity: intensity in (10, 300) for batch 16.
+  EXPECT_GT(est.arithmetic_intensity(), 10.0);
+  EXPECT_LT(est.arithmetic_intensity(), 300.0);
+  EXPECT_GT(est.achieved_tflops(), 1.0);
+}
+
+TEST(Factory, AllModelsConstructible) {
+  for (const char* name :
+       {"fp16", "marlin", "sparse-marlin", "torch-int4", "exllamav2", "awq",
+        "bitsandbytes", "ideal-dense", "ideal-int4", "ideal-sparse"}) {
+    EXPECT_EQ(baselines::make_kernel_model(name)->name(), name);
+  }
+  EXPECT_THROW(baselines::make_kernel_model("nope"), marlin::Error);
+}
+
+}  // namespace
+}  // namespace marlin::core
