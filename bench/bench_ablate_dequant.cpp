@@ -1,18 +1,22 @@
 // Ablation: lop3 packed-FP16 dequantisation vs naive int->float casts.
 // Host-side throughput of both (this is real measured work on this
 // machine) plus the modelled CUDA-core cost difference.
+//
+// The measurement loops stay single-threaded on purpose (they quote
+// per-core throughput); the input preparation fans out on the SimContext.
 
 #include <chrono>
 #include <iostream>
 #include <vector>
 
+#include "common.hpp"
 #include "quant/dequant_trick.hpp"
 #include "quant/pack.hpp"
 #include "util/rng.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Ablation: dequantisation method (host throughput) ===\n\n";
 
   Rng rng(1);
@@ -20,10 +24,11 @@ int main() {
   std::vector<std::uint32_t> packed(n_regs);
   std::vector<std::uint8_t> codes(n_regs * 8);
   for (auto& c : codes) c = static_cast<std::uint8_t>(rng.uniform_int(16));
-  for (std::size_t i = 0; i < n_regs; ++i) {
-    packed[i] = quant::pack8_interleaved(
-        std::span<const std::uint8_t>(codes).subspan(i * 8, 8));
-  }
+  ctx.parallel_for(0, static_cast<std::int64_t>(n_regs), [&](std::int64_t i) {
+    packed[static_cast<std::size_t>(i)] = quant::pack8_interleaved(
+        std::span<const std::uint8_t>(codes).subspan(
+            static_cast<std::size_t>(i) * 8, 8));
+  });
 
   volatile std::uint32_t sink = 0;
 

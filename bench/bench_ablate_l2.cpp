@@ -8,30 +8,38 @@
 #include "core/l2_replay.hpp"
 #include "core/timing.hpp"
 #include "gpusim/memory.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Ablation: L2 bound (Eq. 1) on A10, 72k x 18k ===\n\n";
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
 
-  Table table({"batch", "N_sm", "Eq.(1) holds", "est. time [ms]"});
+  struct Point {
+    index_t m, n_sm;
+  };
+  std::vector<Point> points;
   for (const index_t m : {1, 16, 64, 128}) {
-    for (const index_t n_sm : {64, 128, 256}) {
-      const bool holds = gpusim::a_loads_hidden_by_l2(
-          d, static_cast<double>(std::min<index_t>((m + 15) / 16 * 16, 64)),
-          64.0, static_cast<double>(n_sm));
-      core::KernelConfig cfg;
-      cfg.n_sm_tile = n_sm;
-      cfg.num_warps = n_sm == 64 ? 4 : 8;
-      const auto est =
-          core::marlin_estimate(bench::fig1_problem(m), cfg, d, clock);
-      table.add_row({std::to_string(m), std::to_string(n_sm),
-                     holds ? "yes" : "NO",
-                     format_double(est.seconds * 1e3, 3)});
-    }
+    for (const index_t n_sm : {64, 128, 256}) points.push_back({m, n_sm});
   }
+  const auto rows = bench::run_sweep(
+      ctx, points, [&](const Point& pt) -> std::vector<std::string> {
+        const bool holds = gpusim::a_loads_hidden_by_l2(
+            d,
+            static_cast<double>(std::min<index_t>((pt.m + 15) / 16 * 16, 64)),
+            64.0, static_cast<double>(pt.n_sm));
+        core::KernelConfig cfg;
+        cfg.n_sm_tile = pt.n_sm;
+        cfg.num_warps = pt.n_sm == 64 ? 4 : 8;
+        const auto est =
+            core::marlin_estimate(bench::fig1_problem(pt.m), cfg, d, clock);
+        return {std::to_string(pt.m), std::to_string(pt.n_sm),
+                holds ? "yes" : "NO", format_double(est.seconds * 1e3, 3)};
+      });
+
+  Table table({"batch", "N_sm", "Eq.(1) holds", "est. time [ms]"});
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nTakeaway: N_sm=256 keeps even batch 64 weight-loading "
                "bound (paper Section 3.4); narrow tiles at batch >= 64 blow "
@@ -41,29 +49,38 @@ int main() {
   // simulator to quantify the evict_first cache-pollution argument.
   std::cout << "Schedule replay through the L2 simulator (A-operand "
                "residency):\n";
-  Table replay({"shape", "B hint", "A hit rate", "A misses", "note"});
   struct Case {
     const char* name;
     index_t n;
+    bool hint;
     const char* note;
   };
   // 18 columns misalign the stripe starts (rows {0,72,144,216}), giving
   // the long across-round reuse distance where pollution bites.
-  for (const Case c : {Case{"72k x 18k (aligned)", 73728,
-                            "stripes row-aligned: reuse within one round"},
-                       Case{"4.6k x 18k (misaligned)", 4608,
-                            "reuse 72 rounds apart"}}) {
+  std::vector<Case> cases;
+  for (const auto& base :
+       {std::pair<const char*, index_t>{"72k x 18k (aligned)", 73728},
+        std::pair<const char*, index_t>{"4.6k x 18k (misaligned)", 4608}}) {
+    const char* note = base.second == 73728
+                           ? "stripes row-aligned: reuse within one round"
+                           : "reuse 72 rounds apart";
     for (const bool hint : {true, false}) {
-      const core::MatmulProblem p{16, 18432, c.n, 128, false};
-      core::KernelConfig cfg;
-      cfg.n_sm_tile = 256;
-      const auto r =
-          core::replay_schedule_through_l2(p, cfg, gpusim::a10(), hint);
-      replay.add_row({c.name, hint ? "evict_first" : "normal",
-                      format_double(r.a_hit_rate(), 4),
-                      std::to_string(r.a_stats.misses), c.note});
+      cases.push_back({base.first, base.second, hint, note});
     }
   }
+  const auto replay_rows = bench::run_sweep(
+      ctx, cases, [&](const Case& c) -> std::vector<std::string> {
+        const core::MatmulProblem p{16, 18432, c.n, 128, false};
+        core::KernelConfig cfg;
+        cfg.n_sm_tile = 256;
+        const auto r =
+            core::replay_schedule_through_l2(p, cfg, gpusim::a10(), c.hint);
+        return {c.name, c.hint ? "evict_first" : "normal",
+                format_double(r.a_hit_rate(), 4),
+                std::to_string(r.a_stats.misses), c.note};
+      });
+  Table replay({"shape", "B hint", "A hit rate", "A misses", "note"});
+  for (const auto& row : replay_rows) replay.add_row(row);
   replay.print(std::cout);
   std::cout << "\nTakeaway: with evict_first the streamed B operand never "
                "displaces A; unhinted streaming multiplies A's GMEM "

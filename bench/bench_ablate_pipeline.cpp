@@ -6,26 +6,33 @@
 #include "common.hpp"
 #include "core/timing.hpp"
 #include "gpusim/pipeline.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Ablation: pipeline depth (A10, 72k x 18k) ===\n\n";
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
 
+  const std::vector<index_t> batches{1, 16, 64};
+  const auto rows =
+      bench::run_sweep(ctx, batches, [&](const index_t m) {
+        std::vector<double> row;
+        for (const int depth : {1, 2, 4, 8}) {
+          core::KernelConfig cfg;
+          cfg.n_sm_tile = 256;
+          cfg.pipeline_depth = depth;
+          const auto est =
+              core::marlin_estimate(bench::fig1_problem(m), cfg, d, clock);
+          row.push_back(est.seconds * 1e3);
+        }
+        return row;
+      });
+
   Table table({"batch", "P=1", "P=2", "P=4", "P=8"});
-  for (const index_t m : {1, 16, 64}) {
-    std::vector<double> row;
-    for (const int depth : {1, 2, 4, 8}) {
-      core::KernelConfig cfg;
-      cfg.n_sm_tile = 256;
-      cfg.pipeline_depth = depth;
-      const auto est =
-          core::marlin_estimate(bench::fig1_problem(m), cfg, d, clock);
-      row.push_back(est.seconds * 1e3);
-    }
-    table.add_row_numeric("batch " + std::to_string(m) + " [ms]", row, 3);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    table.add_row_numeric("batch " + std::to_string(batches[i]) + " [ms]",
+                          rows[i], 3);
   }
   table.print(std::cout);
   std::cout

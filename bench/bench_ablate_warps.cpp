@@ -16,10 +16,10 @@
 #include "common.hpp"
 #include "core/timing.hpp"
 #include "gpusim/warp_exec.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Ablation: warp layout (A10, N_sm=256, batch 16) ===\n\n";
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
@@ -34,39 +34,44 @@ int main() {
     return 0.45;
   };
 
+  struct Point {
+    int warps;
+    const char* name;
+    int tile_n;
+  };
+  std::vector<Point> points;
+  for (const int warps : {2, 4, 8, 16}) {
+    points.push_back({warps, "N-split", 256 / warps});
+    points.push_back({warps, "K-split w64 (MARLIN)", 64});
+  }
+
+  const auto rows = bench::run_sweep(
+      ctx, points, [&](const Point& c) -> std::vector<std::string> {
+        gpusim::WarpExecParams wp;
+        wp.num_warps = c.warps;
+        wp.warp_tile_m = 16;
+        wp.warp_tile_n = c.tile_n;
+        const double util = gpusim::tensor_core_utilization(d, wp);
+        const double mem_eff = mem_eff_for_width(c.tile_n);
+
+        core::MarlinPerfParams perf;
+        perf.mem_efficiency = mem_eff;
+        perf.tc_efficiency_cap = std::min(0.90, util);
+        core::KernelConfig kcfg;
+        kcfg.n_sm_tile = 256;
+        kcfg.num_warps = c.warps;
+        const auto est = core::marlin_estimate(bench::fig1_problem(16), kcfg,
+                                               d, clock, perf);
+        return {c.name, std::to_string(c.warps),
+                "16x" + std::to_string(c.tile_n), format_double(util, 3),
+                std::to_string(std::min(16, c.tile_n / 4)),
+                format_double(mem_eff, 2),
+                format_double(est.seconds * 1e3, 3)};
+      });
+
   Table table({"layout", "warps", "warp tile", "TC util", "B-load bytes/thr",
                "mem eff", "est. time [ms]"});
-  for (const int warps : {2, 4, 8, 16}) {
-    struct Cfg {
-      const char* name;
-      int tile_n;
-    };
-    const Cfg configs[2] = {{"N-split", 256 / warps},
-                            {"K-split w64 (MARLIN)", 64}};
-    for (const auto& c : configs) {
-      gpusim::WarpExecParams wp;
-      wp.num_warps = warps;
-      wp.warp_tile_m = 16;
-      wp.warp_tile_n = c.tile_n;
-      const double util = gpusim::tensor_core_utilization(d, wp);
-      const double mem_eff = mem_eff_for_width(c.tile_n);
-
-      core::MarlinPerfParams perf;
-      perf.mem_efficiency = mem_eff;
-      perf.tc_efficiency_cap = std::min(0.90, util);
-      core::KernelConfig kcfg;
-      kcfg.n_sm_tile = 256;
-      kcfg.num_warps = warps;
-      const auto est = core::marlin_estimate(bench::fig1_problem(16), kcfg,
-                                             d, clock, perf);
-      table.add_row({c.name, std::to_string(warps),
-                     "16x" + std::to_string(c.tile_n),
-                     format_double(util, 3),
-                     std::to_string(std::min(16, c.tile_n / 4)),
-                     format_double(mem_eff, 2),
-                     format_double(est.seconds * 1e3, 3)});
-    }
-  }
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nTakeaway: the fixed-width-64 K-split keeps 16-byte loads "
                "and full tensor-pipe utilisation at 8+ warps; direct "

@@ -5,54 +5,61 @@
 
 #include <iostream>
 
-#include "baselines/kernel_model.hpp"
+#include "common.hpp"
 #include "eval/metrics.hpp"
 #include "eval/synthetic.hpp"
 #include "quant/awq.hpp"
 #include "quant/gptq.hpp"
 #include "quant/uniform.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Extension: AWQ-format MARLIN (paper Section 6) ===\n\n";
 
-  // Increasingly outlier-heavy activations: AWQ's advantage grows.
+  // Increasingly outlier-heavy activations: AWQ's advantage grows. Each
+  // sigma point runs its four quantizers and error measurements on one
+  // sweep worker.
+  const std::vector<double> sigmas{0.3, 0.8, 1.3};
+  const auto rows = bench::run_sweep(
+      ctx, sigmas, [&](const double sigma) -> std::vector<std::string> {
+        eval::SyntheticParams sp;
+        sp.feature_scale_sigma = sigma;
+        const auto layer = eval::make_synthetic_layer(128, 64, 512, 99, sp);
+
+        quant::QuantConfig qcfg;
+        qcfg.group_size = 64;
+        const auto rtn = quant::quantize_rtn(layer.w.view(), qcfg);
+        const auto asym =
+            quant::quantize_asymmetric_grouped(layer.w.view(), qcfg);
+
+        quant::HessianAccumulator acc(128);
+        acc.add_sequence(layer.calib.view());
+        quant::GptqConfig gcfg;
+        gcfg.quant = qcfg;
+        const auto gptq = quant::gptq_quantize(layer.w.view(), acc, gcfg);
+
+        quant::AwqConfig acfg;
+        acfg.quant = qcfg;
+        const auto awq =
+            quant::awq_quantize(layer.w.view(), layer.calib.view(), acfg);
+
+        std::vector<Matrix<float>> candidates;
+        candidates.push_back(rtn.dequantize());
+        candidates.push_back(asym.dequantize());
+        candidates.push_back(gptq.weights.dequantize());
+        candidates.push_back(awq.weights.dequantize());
+        const auto nmse = eval::layer_output_nmse_sweep(
+            ctx, layer.w.view(), candidates, layer.calib.view());
+
+        return {format_double(sigma, 1), format_double(nmse[0], 5),
+                format_double(nmse[1], 5), format_double(nmse[2], 5),
+                format_double(nmse[3], 5), format_double(awq.alpha, 2)};
+      });
+
   Table table({"feature-scale sigma", "RTN sym nmse", "asym nmse",
                "GPTQ nmse", "AWQ nmse", "AWQ alpha"});
-  for (const double sigma : {0.3, 0.8, 1.3}) {
-    eval::SyntheticParams sp;
-    sp.feature_scale_sigma = sigma;
-    const auto layer = eval::make_synthetic_layer(128, 64, 512, 99, sp);
-
-    quant::QuantConfig qcfg;
-    qcfg.group_size = 64;
-    const auto rtn = quant::quantize_rtn(layer.w.view(), qcfg);
-    const auto asym =
-        quant::quantize_asymmetric_grouped(layer.w.view(), qcfg);
-
-    quant::HessianAccumulator acc(128);
-    acc.add_sequence(layer.calib.view());
-    quant::GptqConfig gcfg;
-    gcfg.quant = qcfg;
-    const auto gptq = quant::gptq_quantize(layer.w.view(), acc, gcfg);
-
-    quant::AwqConfig acfg;
-    acfg.quant = qcfg;
-    const auto awq =
-        quant::awq_quantize(layer.w.view(), layer.calib.view(), acfg);
-
-    auto nmse = [&](const Matrix<float>& w_hat) {
-      return eval::layer_output_nmse(layer.w.view(), w_hat.view(),
-                                     layer.calib.view());
-    };
-    table.add_row({format_double(sigma, 1),
-                   format_double(nmse(rtn.dequantize()), 5),
-                   format_double(nmse(asym.dequantize()), 5),
-                   format_double(nmse(gptq.weights.dequantize()), 5),
-                   format_double(nmse(awq.weights.dequantize()), 5),
-                   format_double(awq.alpha, 2)});
-  }
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nKernel side: the AWQ format reuses the identical tile/"
                "interleave stream plus packed zero points; the timing model "

@@ -9,13 +9,15 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Figure 10: sustained per-layer speedup on A10 "
                "(locked base clock) ===\n"
             << "16bit x 4bit (group=128), K=18432, N=73728\n\n";
+  const bench::SweepTimer timer(ctx, "fig10 analytic sweep");
   bench::print_speedup_over_fp16(
-      std::cout, "Speedup over FP16 (CUTLASS model), base clock",
+      ctx, std::cout, "Speedup over FP16 (CUTLASS model), base clock",
       gpusim::a10(), gpusim::ClockMode::kLockedBase,
       {"ideal-int4", "marlin", "torch-int4", "exllamav2", "awq",
        "bitsandbytes"},

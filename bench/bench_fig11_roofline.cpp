@@ -12,8 +12,9 @@
 #include "core/timing.hpp"
 #include "gpusim/roofline.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   const auto d = gpusim::a10();
   std::cout << "=== Figure 11: MARLIN roofline on A10 ===\n";
   std::cout << "Roofs: boost " << d.fp16_tc_tflops_boost << " TF (ridge "
@@ -25,28 +26,36 @@ int main() {
             << " FLOP/B), BW " << d.gmem_bandwidth_gbs << " GB/s\n\n";
 
   const gpusim::ClockModel clock{gpusim::ClockMode::kAutoThermal};
+  struct Point {
+    index_t size, m;
+  };
+  std::vector<Point> points;
+  for (const index_t size : {4096, 8192, 16384, 32768}) {
+    for (index_t m = 1; m <= 65536; m *= 4) points.push_back({size, m});
+  }
+  const auto rows = bench::run_sweep(
+      ctx, points, [&](const Point& pt) -> std::vector<std::string> {
+        const core::MatmulProblem p{pt.m, pt.size, pt.size, 128, false};
+        const auto est = core::marlin_estimate_auto(p, d, clock);
+        const double intensity = est.arithmetic_intensity();
+        const double roof =
+            gpusim::roofline_attainable_flops(d, est.effective_clock_ghz,
+                                              intensity) /
+            1e12;
+        const bool mem_bound =
+            intensity <
+            gpusim::roofline_ridge_intensity(d, est.effective_clock_ghz);
+        return {std::to_string(pt.size) + "^2", std::to_string(pt.m),
+                format_double(intensity, 1),
+                format_double(est.achieved_tflops(), 2),
+                format_double(roof, 1),
+                mem_bound ? "memory-bound" : "compute-bound",
+                format_double(est.effective_clock_ghz, 3)};
+      });
+
   Table table({"shape", "batch", "intensity FLOP/B", "TFLOP/s",
                "roof TFLOP/s", "regime", "clock GHz"});
-  for (const index_t size : {4096, 8192, 16384, 32768}) {
-    for (index_t m = 1; m <= 65536; m *= 4) {
-      const core::MatmulProblem p{m, size, size, 128, false};
-      const auto est = core::marlin_estimate_auto(p, d, clock);
-      const double intensity = est.arithmetic_intensity();
-      const double roof =
-          gpusim::roofline_attainable_flops(d, est.effective_clock_ghz,
-                                            intensity) /
-          1e12;
-      const bool mem_bound =
-          intensity <
-          gpusim::roofline_ridge_intensity(d, est.effective_clock_ghz);
-      table.add_row({std::to_string(size) + "^2", std::to_string(m),
-                     format_double(intensity, 1),
-                     format_double(est.achieved_tflops(), 2),
-                     format_double(roof, 1),
-                     mem_bound ? "memory-bound" : "compute-bound",
-                     format_double(est.effective_clock_ghz, 3)});
-    }
-  }
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nPaper reference: memory-bound below batch ~64; large "
                "shapes at large batch throttle towards the base-clock "

@@ -4,13 +4,15 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Figure 13: Sparse-MARLIN sustained speedup on A10 "
                "(locked base clock) ===\n"
             << "16bit x 4bit + 2:4 (group=128), K=18432, N=73728\n\n";
+  const bench::SweepTimer timer(ctx, "fig13 analytic sweep");
   bench::print_speedup_over_fp16(
-      std::cout, "Speedup over FP16 (CUTLASS model), base clock",
+      ctx, std::cout, "Speedup over FP16 (CUTLASS model), base clock",
       gpusim::a10(), gpusim::ClockMode::kLockedBase,
       {"ideal-dense", "ideal-int4", "ideal-sparse", "marlin", "sparse-marlin",
        "torch-int4", "exllamav2", "awq", "bitsandbytes"},

@@ -7,12 +7,13 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "serve/generation.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
   using serve::WeightFormat;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Figure 14: Llama-2-7B generation time on A10 "
                "(64 in / 64 out) ===\n\n";
 
@@ -20,24 +21,38 @@ int main() {
   Table table({"engine \\ batch", "1", "2", "4", "8", "16", "32", "64",
                "128"});
 
-  std::vector<serve::Engine> engines;
+  std::vector<std::unique_ptr<serve::Engine>> engines;
   for (const auto fmt : {WeightFormat::kFp16, WeightFormat::kMarlin,
                          WeightFormat::kSparseMarlin}) {
     serve::EngineConfig cfg;
     cfg.model = serve::llama2_7b();
     cfg.gpu = gpusim::a10();
     cfg.format = fmt;
-    engines.emplace_back(cfg);
+    engines.push_back(std::make_unique<serve::Engine>(cfg));
   }
+
+  // All (engine, batch) cells fan out together; the engines' memo caches
+  // are mutex-guarded, so sharing them across sweep workers is safe.
+  struct Point {
+    std::size_t engine;
+    index_t batch;
+  };
+  std::vector<Point> points;
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    for (const auto b : batches) points.push_back({e, b});
+  }
+  const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
+    return serve::generation_time(*engines[pt.engine], pt.batch, 64, 64)
+        .decode_seconds;
+  });
 
   std::vector<std::vector<double>> seconds(engines.size());
   for (std::size_t e = 0; e < engines.size(); ++e) {
     std::vector<std::string> row{
-        serve::to_string(engines[e].config().format)};
-    for (const auto b : batches) {
-      const auto g = serve::generation_time(engines[e], b, 64, 64);
-      seconds[e].push_back(g.decode_seconds);
-      row.push_back(format_double(g.decode_seconds, 3));
+        serve::to_string(engines[e]->config().format)};
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      seconds[e].push_back(cells[e * batches.size() + i]);
+      row.push_back(format_double(seconds[e].back(), 3));
     }
     table.add_row(row);
   }
@@ -50,7 +65,7 @@ int main() {
     for (std::size_t i = 0; i < batches.size(); ++i) {
       row.push_back(seconds[0][i] / seconds[e][i]);
     }
-    sp.add_row_numeric(serve::to_string(engines[e].config().format), row, 2);
+    sp.add_row_numeric(serve::to_string(engines[e]->config().format), row, 2);
   }
   sp.print(std::cout);
   std::cout << "\nPaper reference: MARLIN ~3x at small batch; "

@@ -9,49 +9,73 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "serve/server_sim.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
   using serve::WeightFormat;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Figure 15: Llama-2-7B TPOT on RTX A6000 "
                "(64 in / 64 out) ===\n\n";
 
   const std::vector<double> qps_values{1.0, 2.5, 5.0, 10.0};
-  Table table({"engine \\ QPS", "1.0", "2.5", "5.0", "10.0"});
-  Table batch_table({"mean batch \\ QPS", "1.0", "2.5", "5.0", "10.0"});
+  const std::vector<WeightFormat> formats{
+      WeightFormat::kFp16, WeightFormat::kMarlin,
+      WeightFormat::kSparseMarlin};
 
-  std::vector<std::vector<double>> tpot(3);
-  int e = 0;
-  for (const auto fmt : {WeightFormat::kFp16, WeightFormat::kMarlin,
-                         WeightFormat::kSparseMarlin}) {
+  std::vector<std::unique_ptr<serve::Engine>> engines;
+  for (const auto fmt : formats) {
     serve::EngineConfig cfg;
     cfg.model = serve::llama2_7b();
     cfg.gpu = gpusim::rtxa6000();
     cfg.format = fmt;
-    const serve::Engine engine(cfg);
+    engines.push_back(std::make_unique<serve::Engine>(cfg));
+  }
 
+  // Every (format, QPS) serving simulation is an independent fixed-seed
+  // run; all 12 fan out on the context and land in point order.
+  struct Point {
+    std::size_t engine;
+    double qps;
+  };
+  struct Cell {
+    double tpot_ms = 0;
+    double mean_batch = 0;
+  };
+  std::vector<Point> points;
+  for (std::size_t e = 0; e < formats.size(); ++e) {
+    for (const double qps : qps_values) points.push_back({e, qps});
+  }
+  const bench::SweepTimer timer(ctx, "fig15 serving sweep");
+  const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
+    serve::ServingConfig sc;
+    sc.qps = pt.qps;
+    sc.duration_s = 120.0;
+    const auto m = serve::simulate_serving(*engines[pt.engine], sc);
+    return Cell{m.mean_tpot_ms, m.mean_batch};
+  });
+
+  Table table({"engine \\ QPS", "1.0", "2.5", "5.0", "10.0"});
+  Table batch_table({"mean batch \\ QPS", "1.0", "2.5", "5.0", "10.0"});
+  std::vector<std::vector<double>> tpot(formats.size());
+  for (std::size_t e = 0; e < formats.size(); ++e) {
     std::vector<double> row, brow;
-    for (const double qps : qps_values) {
-      serve::ServingConfig sc;
-      sc.qps = qps;
-      sc.duration_s = 120.0;
-      const auto m = serve::simulate_serving(engine, sc);
-      row.push_back(m.mean_tpot_ms);
-      brow.push_back(m.mean_batch);
+    for (std::size_t i = 0; i < qps_values.size(); ++i) {
+      row.push_back(cells[e * qps_values.size() + i].tpot_ms);
+      brow.push_back(cells[e * qps_values.size() + i].mean_batch);
     }
-    tpot[static_cast<std::size_t>(e++)] = row;
-    table.add_row_numeric(serve::to_string(fmt), row, 2);
-    batch_table.add_row_numeric(serve::to_string(fmt), brow, 1);
+    tpot[e] = row;
+    table.add_row_numeric(serve::to_string(formats[e]), row, 2);
+    batch_table.add_row_numeric(serve::to_string(formats[e]), brow, 1);
   }
   table.print(std::cout);
   std::cout << "\nSpeedup vs FP16:\n";
   Table sp({"engine \\ QPS", "1.0", "2.5", "5.0", "10.0"});
-  for (int k = 1; k < 3; ++k) {
+  for (std::size_t k = 1; k < formats.size(); ++k) {
     std::vector<double> row;
     for (std::size_t i = 0; i < qps_values.size(); ++i) {
-      row.push_back(tpot[0][i] / tpot[static_cast<std::size_t>(k)][i]);
+      row.push_back(tpot[0][i] / tpot[k][i]);
     }
     sp.add_row_numeric(k == 1 ? "vLLM MARLIN" : "vLLM Sparse-MARLIN", row, 2);
   }

@@ -11,15 +11,16 @@
 #include <cmath>
 #include <iostream>
 
+#include "common.hpp"
 #include "eval/metrics.hpp"
 #include "eval/proxy.hpp"
 #include "eval/synthetic.hpp"
 #include "quant/gptq.hpp"
 #include "quant/uniform.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Figure 6: perplexity vs model size (MARLIN GPTQ) ===\n\n";
 
   // Measure reconstruction error per quantization setting on a synthetic
@@ -40,16 +41,19 @@ int main() {
       {"INT3 g=128", 3, 128, true},
   };
 
-  std::vector<double> nmse;
-  for (const auto& s : settings) {
-    quant::GptqConfig cfg;
-    cfg.quant.bits = s.bits;
-    cfg.quant.group_size = s.group;
-    cfg.quant.clip_search = s.clip;
-    const auto r = quant::gptq_quantize(layer.w.view(), acc, cfg);
-    nmse.push_back(eval::layer_output_nmse(
-        layer.w.view(), r.weights.dequantize().view(), layer.calib.view()));
-  }
+  // The GPTQ runs are the sweep hot path: quantize every setting on the
+  // pool, then measure all reconstructions in one context-wide pass.
+  const auto candidates =
+      bench::run_sweep(ctx, settings, [&](const Setting& s) {
+        quant::GptqConfig cfg;
+        cfg.quant.bits = s.bits;
+        cfg.quant.group_size = s.group;
+        cfg.quant.clip_search = s.clip;
+        const auto r = quant::gptq_quantize(layer.w.view(), acc, cfg);
+        return r.weights.dequantize();
+      });
+  const auto nmse = eval::layer_output_nmse_sweep(
+      ctx, layer.w.view(), candidates, layer.calib.view());
 
   // Anchor: the INT4 g=128 point costs ~4% perplexity on Llama-2-7B.
   const double kappa = eval::calibrate_kappa(5.47, 5.47 * 1.04, nmse[0]);
@@ -68,17 +72,16 @@ int main() {
                    format_double(params * 2 / 1e9, 2),
                    format_double(ref.fp16_ppl, 3)});
     fp16_points.push_back({params * 2 / 1e9, ref.fp16_ppl});
+    const auto ppls = eval::perplexity_proxy(ctx, ref.fp16_ppl, nmse, kappa);
     for (std::size_t i = 0; i < settings.size(); ++i) {
       const double bits =
           settings[i].bits +
           (settings[i].group == quant::kPerColumn ? 16.0 / 4096.0
                                                   : 16.0 / 128.0);
-      const double ppl = eval::perplexity_proxy(ref.fp16_ppl,
-                                                nmse[i], kappa);
       table.add_row({ref.name, settings[i].name, format_double(bits, 3),
                      format_double(params * bits / 8 / 1e9, 2),
-                     format_double(ppl, 3)});
-      if (i == 0) q_points.push_back({params * bits / 8 / 1e9, ppl});
+                     format_double(ppls[i], 3)});
+      if (i == 0) q_points.push_back({params * bits / 8 / 1e9, ppls[i]});
     }
   }
   table.print(std::cout);

@@ -11,8 +11,9 @@
 #include "common.hpp"
 #include "serve/model_config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Figure 9: per-layer speedup at batch 16, group=128 ===\n\n";
 
   const std::vector<serve::ModelConfig> models{
@@ -20,26 +21,40 @@ int main() {
       serve::llama1_65b(), serve::falcon_180b()};
   const auto devices = gpusim::all_devices();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
-  const auto fp16 = baselines::make_kernel_model("fp16");
-  const auto marlin_k = baselines::make_kernel_model("marlin");
+
+  struct Point {
+    std::size_t model;
+    std::size_t device;
+  };
+  std::vector<Point> points;
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    for (std::size_t di = 0; di < devices.size(); ++di) {
+      points.push_back({mi, di});
+    }
+  }
+  const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
+    const auto fp16 = baselines::make_kernel_model("fp16");
+    const auto marlin_k = baselines::make_kernel_model("marlin");
+    const auto& d = devices[pt.device];
+    // Aggregate over the block's linear layers (time-weighted speedup).
+    double t_fp16 = 0, t_marlin = 0;
+    for (const auto& l : serve::block_linear_layers(models[pt.model])) {
+      const core::MatmulProblem p{16, l.k, l.n, 128, false};
+      t_fp16 += fp16->estimate(p, d, clock).seconds;
+      t_marlin += marlin_k->estimate(p, d, clock).seconds;
+    }
+    return t_fp16 / t_marlin;
+  });
 
   std::vector<std::string> header{"model \\ gpu"};
   for (const auto& d : devices) header.push_back(d.name);
   Table table(header);
-
-  for (const auto& m : models) {
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
     std::vector<double> row;
-    for (const auto& d : devices) {
-      // Aggregate over the block's linear layers (time-weighted speedup).
-      double t_fp16 = 0, t_marlin = 0;
-      for (const auto& l : serve::block_linear_layers(m)) {
-        const core::MatmulProblem p{16, l.k, l.n, 128, false};
-        t_fp16 += fp16->estimate(p, d, clock).seconds;
-        t_marlin += marlin_k->estimate(p, d, clock).seconds;
-      }
-      row.push_back(t_fp16 / t_marlin);
+    for (std::size_t di = 0; di < devices.size(); ++di) {
+      row.push_back(cells[mi * devices.size() + di]);
     }
-    table.add_row_numeric(m.name, row, 2);
+    table.add_row_numeric(models[mi].name, row, 2);
   }
   table.print(std::cout);
   std::cout << "\nPaper reference: highest speedups on A10/RTX3090 "

@@ -16,6 +16,7 @@
 #include "sparse/compressed.hpp"
 #include "sparse/two_four.hpp"
 #include "util/rng.hpp"
+#include "util/sim_context.hpp"
 
 namespace {
 
@@ -110,6 +111,30 @@ void BM_FunctionalMarlinMatmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m * 256 * 256 * 2);
 }
 BENCHMARK(BM_FunctionalMarlinMatmul)->Arg(1)->Arg(16);
+
+// Per-SM parallelism through the SimContext pool (Arg = thread count; 1 is
+// the bit-identical serial mode). Larger shape so the stripes amortise the
+// dispatch; speedup tracks core count on multi-core hosts.
+void BM_FunctionalMarlinMatmulThreads(benchmark::State& state) {
+  const index_t m = 16, k = 768, n = 1536;
+  const auto q = bench_qweights(k, n);
+  const auto mw = layout::marlin_repack(q);
+  Rng rng(8);
+  Matrix<Half> a(m, k);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      a(i, j) = Half(static_cast<float>(rng.normal()));
+    }
+  }
+  const SimContext ctx(static_cast<unsigned>(state.range(0)));
+  core::KernelConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::marlin_matmul(a.view(), mw, cfg, 72, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * m * k * n * 2);
+}
+BENCHMARK(BM_FunctionalMarlinMatmulThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Fp16Gemm(benchmark::State& state) {
   Rng rng(9);

@@ -11,35 +11,53 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "eval/metrics.hpp"
 #include "eval/proxy.hpp"
 #include "eval/synthetic.hpp"
 #include "quant/gptq.hpp"
 #include "quant/uniform.hpp"
 #include "sparse/sparsegpt.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Table 1: Llama-2-7B accuracy (proxy-mapped) ===\n\n";
 
   const auto layer = eval::make_synthetic_layer(256, 128, 768, 4321);
   quant::HessianAccumulator acc(256);
   acc.add_sequence(layer.calib.view());
 
-  quant::GptqConfig cfg;
-  cfg.quant.group_size = 128;
-  cfg.quant.clip_search = true;
-  const auto int4 = quant::gptq_quantize(layer.w.view(), acc, cfg);
-  const double nmse_int4 = eval::layer_output_nmse(
-      layer.w.view(), int4.weights.dequantize().view(), layer.calib.view());
-
-  quant::GptqConfig scfg;
-  scfg.quant.group_size = 128;
-  const auto sp = sparse::sparsegpt_24_quantize(layer.w.view(), acc.hessian(),
-                                                scfg);
-  const double nmse_sparse = eval::layer_output_nmse(
-      layer.w.view(), sp.weights.dequantize().view(), layer.calib.view());
+  // The three compressors (GPTQ INT4, SparseGPT-lite 2:4+INT4, RTN) are
+  // independent: run them on the pool, then measure every reconstruction
+  // in one context-wide NMSE pass. Order: [int4, sparse, rtn].
+  enum Method { kInt4 = 0, kSparse = 1, kRtn = 2 };
+  const std::vector<int> methods{kInt4, kSparse, kRtn};
+  const auto candidates =
+      bench::run_sweep(ctx, methods, [&](const int method) {
+        quant::GptqConfig cfg;
+        cfg.quant.group_size = 128;
+        switch (method) {
+          case kInt4:
+            cfg.quant.clip_search = true;
+            return quant::gptq_quantize(layer.w.view(), acc, cfg)
+                .weights.dequantize();
+          case kSparse:
+            return sparse::sparsegpt_24_quantize(layer.w.view(),
+                                                 acc.hessian(), cfg)
+                .weights.dequantize();
+          default: {
+            cfg.quant.clip_search = true;
+            return quant::quantize_rtn(layer.w.view(), cfg.quant)
+                .dequantize();
+          }
+        }
+      });
+  const auto nmse = eval::layer_output_nmse_sweep(
+      ctx, layer.w.view(), candidates, layer.calib.view());
+  const double nmse_int4 = nmse[kInt4];
+  const double nmse_sparse = nmse[kSparse];
+  const double nmse_rtn = nmse[kRtn];
 
   std::cout << "measured layer NMSE: INT4 (GPTQ) = "
             << format_double(nmse_int4, 5)
@@ -91,9 +109,6 @@ int main() {
   table.print(std::cout);
 
   // Measured GPTQ-vs-RTN comparison at the same setting (no proxy).
-  const auto rtn = quant::quantize_rtn(layer.w.view(), cfg.quant);
-  const double nmse_rtn = eval::layer_output_nmse(
-      layer.w.view(), rtn.dequantize().view(), layer.calib.view());
   std::cout << "\nMeasured: RTN INT4 g=128 layer NMSE = "
             << format_double(nmse_rtn, 5) << " ("
             << format_double(nmse_rtn / nmse_int4, 2)

@@ -7,11 +7,12 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "serve/generation.hpp"
-#include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const SimContext ctx = bench::make_context(argc, argv);
   std::cout << "=== Table 2: end-to-end MARLIN speedup vs vLLM FP16 ===\n\n";
 
   struct Row {
@@ -34,28 +35,33 @@ int main() {
   };
   const std::vector<index_t> batches{1, 2, 4, 8, 16, 32, 64, 128};
 
+  // One sweep point per grid row: builds its engine pair and walks the
+  // batch axis (the engine memo makes that inner walk cheap).
+  const auto cell_rows = bench::run_sweep(
+      ctx, rows, [&](const Row& r) -> std::vector<std::string> {
+        serve::EngineConfig cfg;
+        cfg.model = r.model;
+        cfg.gpu = r.gpu;
+        cfg.num_gpus = r.num_gpus;
+        cfg.format = serve::WeightFormat::kFp16;
+        const serve::Engine fp16(cfg);
+        cfg.format = serve::WeightFormat::kMarlin;
+        const serve::Engine marlin(cfg);
+
+        std::vector<std::string> cells{r.model.name, r.gpu.name,
+                                       std::to_string(r.num_gpus)};
+        for (const auto b : batches) {
+          const auto gf = serve::generation_time(fp16, b, 64, 64);
+          const auto gm = serve::generation_time(marlin, b, 64, 64);
+          cells.push_back(
+              format_double(gf.decode_seconds / gm.decode_seconds, 2));
+        }
+        return cells;
+      });
+
   Table table({"model", "gpu", "#", "1", "2", "4", "8", "16", "32", "64",
                "128"});
-  for (const auto& r : rows) {
-    serve::EngineConfig cfg;
-    cfg.model = r.model;
-    cfg.gpu = r.gpu;
-    cfg.num_gpus = r.num_gpus;
-    cfg.format = serve::WeightFormat::kFp16;
-    const serve::Engine fp16(cfg);
-    cfg.format = serve::WeightFormat::kMarlin;
-    const serve::Engine marlin(cfg);
-
-    std::vector<std::string> cells{r.model.name, r.gpu.name,
-                                   std::to_string(r.num_gpus)};
-    for (const auto b : batches) {
-      const auto gf = serve::generation_time(fp16, b, 64, 64);
-      const auto gm = serve::generation_time(marlin, b, 64, 64);
-      cells.push_back(
-          format_double(gf.decode_seconds / gm.decode_seconds, 2));
-    }
-    table.add_row(cells);
-  }
+  for (const auto& cells : cell_rows) table.add_row(cells);
   table.print(std::cout);
   std::cout << "\nPaper reference (selection): 7B/A10 2.93..1.20; "
                "70B/A100x8 1.38..1.07; Falcon-180B/A100x8 1.76..1.08.\n";

@@ -1,18 +1,73 @@
 #pragma once
 // Shared helpers for the figure/table benchmark binaries.
+//
+// Every bench binary accepts `--threads N` (0/absent = MARLIN_THREADS env,
+// then hardware concurrency; 1 = bit-identical serial mode) and fans its
+// sweep points out on the SimContext's shared pool via run_sweep. Results
+// are collected by point index and printed afterwards, so the table output
+// is byte-identical at every thread count.
 
+#include <chrono>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/kernel_model.hpp"
 #include "core/problem.hpp"
 #include "gpusim/clock.hpp"
 #include "gpusim/device.hpp"
+#include "util/cli.hpp"
+#include "util/sim_context.hpp"
 #include "util/table.hpp"
 
 namespace marlin::bench {
+
+/// Context for a bench main(): honours --threads / MARLIN_THREADS.
+inline SimContext make_context(int argc, const char* const* argv) {
+  return make_sim_context(CliArgs(argc, argv));
+}
+
+/// Runs fn over every sweep point on the context's pool and returns the
+/// results in point order (deterministic output regardless of threading).
+/// fn must only touch its own point; nested kernel-level parallel_for
+/// calls degrade to inline execution on pool workers by design.
+template <typename Point, typename Fn>
+auto run_sweep(const SimContext& ctx, const std::vector<Point>& points,
+               Fn&& fn) {
+  using R = std::invoke_result_t<Fn&, const Point&>;
+  static_assert(std::is_default_constructible_v<R>,
+                "run_sweep results are pre-sized by point index");
+  std::vector<R> results(points.size());
+  ctx.parallel_for(0, static_cast<std::int64_t>(points.size()),
+                   [&](std::int64_t i) {
+                     results[static_cast<std::size_t>(i)] =
+                         fn(points[static_cast<std::size_t>(i)]);
+                   });
+  return results;
+}
+
+/// Wall-clock of one sweep section, reported on *stderr* so stdout (the
+/// golden-diffed table stream) stays byte-identical across thread counts.
+class SweepTimer {
+ public:
+  explicit SweepTimer(const SimContext& ctx, std::string label)
+      : label_(std::move(label)), threads_(ctx.num_threads()),
+        start_(std::chrono::steady_clock::now()) {}
+  ~SweepTimer() {
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    std::cerr << "[sweep] " << label_ << ": " << format_double(s, 3)
+              << " s (threads=" << threads_ << ")\n";
+  }
+
+ private:
+  std::string label_;
+  unsigned threads_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// The paper's Figure 1/10/12/13 matrix: "16bit x 4bit (group=128) mul with
 /// 72k x 18k matrix" — K = 18432 (reduction), N = 73728 (output).
@@ -26,30 +81,43 @@ inline const std::vector<index_t>& fig1_batches() {
 }
 
 /// Prints one speedup-over-FP16 row per kernel, one column per batch size —
-/// the exact series of the corresponding paper figure.
+/// the exact series of the corresponding paper figure. All (kernel, batch)
+/// estimates are fanned out on the context.
 inline void print_speedup_over_fp16(
-    std::ostream& os, const std::string& title,
+    const SimContext& ctx, std::ostream& os, const std::string& title,
     const gpusim::DeviceSpec& device, gpusim::ClockMode mode,
     const std::vector<std::string>& kernels,
     const std::vector<index_t>& batches,
     const std::function<core::MatmulProblem(index_t)>& problem) {
   const gpusim::ClockModel clock{mode};
-  const auto fp16 = baselines::make_kernel_model("fp16");
+
+  std::vector<core::MatmulProblem> points;
+  points.reserve(batches.size());
+  for (const auto m : batches) points.push_back(problem(m));
+  const auto fp16 = baselines::make_kernel_model("fp16")->estimate_sweep(
+      ctx, points, device, clock);
+
+  struct KernelSweep {
+    std::string name;
+    std::vector<gpusim::KernelEstimate> est;
+  };
+  const auto sweeps = run_sweep(
+      ctx, kernels, [&](const std::string& name) {
+        return KernelSweep{name,
+                           baselines::make_kernel_model(name)->estimate_sweep(
+                               ctx, points, device, clock)};
+      });
 
   os << title << "\n";
   std::vector<std::string> header{"kernel \\ batch"};
   for (const auto m : batches) header.push_back(std::to_string(m));
   Table table(header);
-
-  for (const auto& name : kernels) {
-    const auto k = baselines::make_kernel_model(name);
+  for (const auto& sweep : sweeps) {
     std::vector<double> row;
-    for (const auto m : batches) {
-      const auto p = problem(m);
-      row.push_back(fp16->estimate(p, device, clock).seconds /
-                    k->estimate(p, device, clock).seconds);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      row.push_back(fp16[i].seconds / sweep.est[i].seconds);
     }
-    table.add_row_numeric(name, row, 2);
+    table.add_row_numeric(sweep.name, row, 2);
   }
   table.print(os);
   os << "\n";

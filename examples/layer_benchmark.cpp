@@ -4,7 +4,8 @@
 //   $ ./layer_benchmark --device a100 --model llama-2-7b --m 32 --base-clock
 //
 // With --model, every linear layer of one transformer block is shown;
-// otherwise the explicit --k/--n shape is used.
+// otherwise the explicit --k/--n shape is used. `--threads N` fans the
+// per-kernel estimates out on the SimContext pool.
 
 #include <iostream>
 
@@ -16,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  const SimContext ctx = make_sim_context(args);
   const auto device = gpusim::device_by_name(
       args.get_string("device", "a10"));
   const index_t m = args.get_int("m", 16);
@@ -40,19 +42,32 @@ int main(int argc, char** argv) {
   const std::vector<std::string> kernels{"fp16",      "marlin",
                                          "sparse-marlin", "torch-int4",
                                          "exllamav2", "awq", "bitsandbytes"};
+  std::vector<core::MatmulProblem> points;
+  points.reserve(shapes.size());
+  for (const auto& shape : shapes) {
+    points.push_back({m, shape.k, shape.n, group, false});
+  }
+
+  // One estimate sweep per kernel, each fanned out over the layer shapes.
+  std::vector<std::vector<gpusim::KernelEstimate>> by_kernel(kernels.size());
+  ctx.parallel_for(0, static_cast<std::int64_t>(kernels.size()),
+                   [&](std::int64_t ki) {
+                     const auto model = baselines::make_kernel_model(
+                         kernels[static_cast<std::size_t>(ki)]);
+                     by_kernel[static_cast<std::size_t>(ki)] =
+                         model->estimate_sweep(ctx, points, device, clock);
+                   });
+
   Table table({"layer", "kernel", "time", "TFLOP/s", "GB moved",
                "speedup vs fp16"});
-  for (const auto& shape : shapes) {
-    const core::MatmulProblem p{m, shape.k, shape.n, group, false};
-    double t_fp16 = 0;
-    for (const auto& name : kernels) {
-      const auto est = baselines::make_kernel_model(name)->estimate(
-          p, device, clock);
-      if (name == "fp16") t_fp16 = est.seconds;
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const double t_fp16 = by_kernel[0][si].seconds;
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+      const auto& est = by_kernel[ki][si];
       table.add_row(
-          {shape.name + " " + std::to_string(shape.k) + "x" +
-               std::to_string(shape.n),
-           name, format_seconds(est.seconds),
+          {shapes[si].name + " " + std::to_string(shapes[si].k) + "x" +
+               std::to_string(shapes[si].n),
+           kernels[ki], format_seconds(est.seconds),
            format_double(est.achieved_tflops(), 1),
            format_double(static_cast<double>(est.traffic.gmem_total()) / 1e9,
                          2),

@@ -1,6 +1,8 @@
 // Quantize a (synthetic) multi-layer model with GPTQ into the MARLIN
 // format and report the quality/size trade-off per layer — the offline
-// pipeline a deployment would run once per checkpoint.
+// pipeline a deployment would run once per checkpoint. Layers are
+// independent, so `--threads N` quantizes them concurrently on the
+// SimContext pool (per-layer seeds keep the report deterministic).
 //
 //   $ ./quantize_model --layers 4 --k 512 --n 256 --group 128 --clip
 
@@ -12,11 +14,13 @@
 #include "quant/gptq.hpp"
 #include "quant/uniform.hpp"
 #include "util/cli.hpp"
+#include "util/sim_context.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  const SimContext ctx = make_sim_context(args);
   const index_t layers = args.get_int("layers", 4);
   const index_t k = args.get_int("k", 512);
   const index_t n = args.get_int("n", 256);
@@ -31,10 +35,12 @@ int main(int argc, char** argv) {
             << ", clip search " << (cfg.quant.clip_search ? "on" : "off")
             << ")\n\n";
 
-  Table table({"layer", "RTN nmse", "GPTQ nmse", "GPTQ/RTN", "bits/weight",
-               "packed size"});
-  double total_bytes = 0, fp16_bytes = 0;
-  for (index_t l = 0; l < layers; ++l) {
+  struct LayerReport {
+    std::vector<std::string> row;
+    double bytes = 0;
+  };
+  std::vector<LayerReport> reports(static_cast<std::size_t>(layers));
+  ctx.parallel_for(0, layers, [&](std::int64_t l) {
     const auto layer =
         eval::make_synthetic_layer(k, n, tokens, 9000 + 17 * l);
 
@@ -61,14 +67,24 @@ int main(int argc, char** argv) {
     const auto mw = layout::marlin_repack(gptq.weights);
     const double bytes =
         static_cast<double>(mw.weight_bytes() + mw.scale_bytes());
-    total_bytes += bytes;
-    fp16_bytes += 2.0 * static_cast<double>(k) * static_cast<double>(n);
 
-    table.add_row({"layer_" + std::to_string(l), format_double(e_rtn, 5),
-                   format_double(e_gptq, 5),
-                   format_double(e_gptq / e_rtn, 2),
-                   format_double(gptq.weights.bits_per_weight(), 3),
-                   format_bytes(bytes)});
+    auto& report = reports[static_cast<std::size_t>(l)];
+    report.bytes = bytes;
+    report.row = {"layer_" + std::to_string(l), format_double(e_rtn, 5),
+                  format_double(e_gptq, 5),
+                  format_double(e_gptq / e_rtn, 2),
+                  format_double(gptq.weights.bits_per_weight(), 3),
+                  format_bytes(bytes)};
+  });
+
+  Table table({"layer", "RTN nmse", "GPTQ nmse", "GPTQ/RTN", "bits/weight",
+               "packed size"});
+  double total_bytes = 0;
+  const double fp16_bytes = 2.0 * static_cast<double>(layers) *
+                            static_cast<double>(k) * static_cast<double>(n);
+  for (const auto& report : reports) {
+    table.add_row(report.row);
+    total_bytes += report.bytes;
   }
   table.print(std::cout);
   std::cout << "\nmodel size: " << format_bytes(total_bytes) << " vs "

@@ -2,7 +2,7 @@
 // functional MARLIN kernel, verify the result, and estimate the kernel's
 // runtime on an NVIDIA A10.
 //
-//   $ ./quickstart
+//   $ ./quickstart              # --threads N parallelises the simulator
 //
 // This walks the whole public API surface in ~60 lines:
 //   quantize_rtn -> marlin_repack -> marlin_matmul -> marlin_estimate_auto.
@@ -14,11 +14,14 @@
 #include "core/timing.hpp"
 #include "layout/repack.hpp"
 #include "quant/uniform.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace marlin;
+  const CliArgs args(argc, argv);
+  const SimContext ctx = make_sim_context(args);
   const index_t m = 16, k = 512, n = 512;
 
   // 1. A random FP32 weight matrix and an FP16 activation batch.
@@ -48,12 +51,14 @@ int main() {
             << " of scales (" << format_double(q.bits_per_weight(), 3)
             << " bits/weight)\n";
 
-  // 3. Run the functional kernel (the bit-faithful host simulation).
+  // 3. Run the functional kernel (the bit-faithful host simulation); the
+  //    context fans the per-SM stripes out on its shared pool.
   const auto res = core::marlin_matmul(a.view(), mw, core::KernelConfig{},
-                                       /*num_sms=*/8);
+                                       /*num_sms=*/8, ctx);
 
   // 4. Verify against an FP32 reference on the dequantised weights.
-  const auto ref = core::reference_matmul(a.view(), q.dequantize().view());
+  const auto ref =
+      core::reference_matmul(a.view(), q.dequantize().view(), ctx);
   double max_err = 0;
   for (index_t i = 0; i < m; ++i) {
     for (index_t j = 0; j < n; ++j) {

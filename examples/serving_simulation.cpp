@@ -1,6 +1,7 @@
 // Serving simulation: a vLLM-style server under Poisson client load,
 // comparing weight formats — the paper's §5.2 client-count experiment as a
-// runnable tool.
+// runnable tool. The three engine simulations run concurrently under
+// `--threads N` (fixed seed keeps the table deterministic).
 //
 //   $ ./serving_simulation --model llama-2-7b --device rtxa6000 --qps 5
 //   $ ./serving_simulation --model llama-2-70b --device a100 --gpus 4
@@ -14,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  const SimContext ctx = make_sim_context(args);
   serve::EngineConfig ecfg;
   ecfg.model = serve::model_by_name(
       args.get_string("model", "llama-2-7b"));
@@ -31,22 +33,30 @@ int main(int argc, char** argv) {
             << scfg.input_tokens << " in / " << scfg.output_tokens
             << " out\n\n";
 
+  const std::vector<serve::WeightFormat> formats{
+      serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,
+      serve::WeightFormat::kSparseMarlin};
+  std::vector<std::vector<std::string>> rows(formats.size());
+  ctx.parallel_for(0, static_cast<std::int64_t>(formats.size()),
+                   [&](std::int64_t i) {
+                     auto cfg = ecfg;
+                     cfg.format = formats[static_cast<std::size_t>(i)];
+                     const serve::Engine engine(cfg);
+                     const auto m = serve::simulate_serving(engine, scfg);
+                     rows[static_cast<std::size_t>(i)] = {
+                         serve::to_string(cfg.format),
+                         format_double(m.mean_tpot_ms, 2),
+                         format_double(m.p90_tpot_ms, 2),
+                         format_double(m.mean_ttft_ms, 2),
+                         format_double(m.p90_ttft_ms, 2),
+                         format_double(m.mean_batch, 1),
+                         std::to_string(m.completed),
+                         format_bytes(engine.weight_bytes_per_gpu())};
+                   });
+
   Table table({"engine", "TPOT ms", "p90 TPOT", "TTFT ms", "p90 TTFT",
                "mean batch", "completed", "weights/GPU"});
-  for (const auto fmt :
-       {serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,
-        serve::WeightFormat::kSparseMarlin}) {
-    ecfg.format = fmt;
-    const serve::Engine engine(ecfg);
-    const auto m = serve::simulate_serving(engine, scfg);
-    table.add_row({serve::to_string(fmt), format_double(m.mean_tpot_ms, 2),
-                   format_double(m.p90_tpot_ms, 2),
-                   format_double(m.mean_ttft_ms, 2),
-                   format_double(m.p90_ttft_ms, 2),
-                   format_double(m.mean_batch, 1),
-                   std::to_string(m.completed),
-                   format_bytes(engine.weight_bytes_per_gpu())});
-  }
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   return 0;
 }

@@ -2,7 +2,7 @@
 // quantization, compression into the Sparse-MARLIN structures (paper
 // Figures 7/8), functional verification, and the expected speedup uplift.
 //
-//   $ ./sparse_inference --k 256 --n 128
+//   $ ./sparse_inference --k 256 --n 128    # --threads N parallelises
 
 #include <iostream>
 
@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  const SimContext ctx = make_sim_context(args);
   const index_t k = args.get_int("k", 256);
   const index_t n = args.get_int("n", 128);
   const index_t m = args.get_int("m", 16);
@@ -43,7 +44,8 @@ int main(int argc, char** argv) {
             << " metadata nibbles = "
             << format_double(s24.bits_per_weight(), 3) << " bits/weight\n";
 
-  // 3. Run the functional Sparse-MARLIN kernel and verify.
+  // 3. Run the functional Sparse-MARLIN kernel (per-SM stripes on the
+  //    context pool) and verify.
   Rng rng(3);
   Matrix<Half> a(m, k);
   for (index_t i = 0; i < m; ++i) {
@@ -53,9 +55,9 @@ int main(int argc, char** argv) {
   }
   core::KernelConfig kcfg;
   kcfg.n_sm_tile = std::min<index_t>(128, n);
-  const auto res = core::sparse_marlin_matmul(a.view(), s24, kcfg, 8);
-  const auto ref =
-      core::reference_matmul(a.view(), sparse::decompress_24(s24).view());
+  const auto res = core::sparse_marlin_matmul(a.view(), s24, kcfg, 8, ctx);
+  const auto ref = core::reference_matmul(
+      a.view(), sparse::decompress_24(s24).view(), ctx);
   double max_err = 0;
   for (index_t i = 0; i < m; ++i) {
     for (index_t j = 0; j < n; ++j) {
@@ -66,24 +68,29 @@ int main(int argc, char** argv) {
   std::cout << "functional Sparse-MARLIN max |err|: "
             << format_double(max_err, 4) << "\n\n";
 
-  // 4. Projected uplift on an A10 at several batch sizes.
+  // 4. Projected uplift on an A10 at several batch sizes, fanned out per
+  //    kernel model on the context.
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};
+  std::vector<core::MatmulProblem> points;
+  for (const index_t batch : {1, 16, 64, 128}) {
+    points.push_back({batch, 18432, 73728, 128, false});
+  }
+  const auto tf = baselines::make_kernel_model("fp16")->estimate_sweep(
+      ctx, points, d, clock);
+  const auto tm = baselines::make_kernel_model("marlin")->estimate_sweep(
+      ctx, points, d, clock);
+  const auto ts =
+      baselines::make_kernel_model("sparse-marlin")
+          ->estimate_sweep(ctx, points, d, clock);
   Table table({"batch", "fp16", "marlin", "sparse-marlin",
                "sparse vs dense"});
-  for (const index_t batch : {1, 16, 64, 128}) {
-    const core::MatmulProblem p{batch, 18432, 73728, 128, false};
-    const double tf =
-        baselines::make_kernel_model("fp16")->estimate(p, d, clock).seconds;
-    const double tm = baselines::make_kernel_model("marlin")
-                          ->estimate(p, d, clock)
-                          .seconds;
-    const double ts = baselines::make_kernel_model("sparse-marlin")
-                          ->estimate(p, d, clock)
-                          .seconds;
-    table.add_row({std::to_string(batch), format_seconds(tf),
-                   format_seconds(tm), format_seconds(ts),
-                   format_double(tm / ts, 2)});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.add_row({std::to_string(points[i].m),
+                   format_seconds(tf[i].seconds),
+                   format_seconds(tm[i].seconds),
+                   format_seconds(ts[i].seconds),
+                   format_double(tm[i].seconds / ts[i].seconds, 2)});
   }
   table.print(std::cout);
   return 0;

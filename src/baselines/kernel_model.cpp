@@ -1,0 +1,18 @@
+#include "baselines/kernel_model.hpp"
+
+namespace marlin::baselines {
+
+std::vector<gpusim::KernelEstimate> KernelModel::estimate_sweep(
+    const SimContext& ctx, const std::vector<core::MatmulProblem>& points,
+    const gpusim::DeviceSpec& d, const gpusim::ClockModel& clock) const {
+  std::vector<gpusim::KernelEstimate> out(points.size());
+  ctx.parallel_for(0, static_cast<std::int64_t>(points.size()),
+                   [&](std::int64_t i) {
+                     out[static_cast<std::size_t>(i)] =
+                         estimate(points[static_cast<std::size_t>(i)], d,
+                                  clock);
+                   });
+  return out;
+}
+
+}  // namespace marlin::baselines

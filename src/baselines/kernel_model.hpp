@@ -10,6 +10,7 @@
 #include "core/problem.hpp"
 #include "gpusim/clock.hpp"
 #include "gpusim/estimate.hpp"
+#include "util/sim_context.hpp"
 
 namespace marlin::baselines {
 
@@ -20,6 +21,13 @@ class KernelModel {
   [[nodiscard]] virtual gpusim::KernelEstimate estimate(
       const core::MatmulProblem& p, const gpusim::DeviceSpec& d,
       const gpusim::ClockModel& clock) const = 0;
+
+  /// Estimates every sweep point, fanned out on the context's pool; models
+  /// are stateless so points are independent, and results come back in
+  /// point order regardless of the thread count.
+  [[nodiscard]] std::vector<gpusim::KernelEstimate> estimate_sweep(
+      const SimContext& ctx, const std::vector<core::MatmulProblem>& points,
+      const gpusim::DeviceSpec& d, const gpusim::ClockModel& clock) const;
 };
 
 using KernelModelPtr = std::unique_ptr<KernelModel>;

@@ -187,10 +187,11 @@ SmOutput run_sm(ConstMatrixView<Half> a, const MarlinWeights& b,
 }  // namespace
 
 Matrix<float> reference_matmul(ConstMatrixView<Half> a,
-                               ConstMatrixView<float> w) {
+                               ConstMatrixView<float> w,
+                               const SimContext& ctx) {
   MARLIN_CHECK(a.cols() == w.rows(), "inner dims mismatch");
   Matrix<float> c(a.rows(), w.cols(), 0.0f);
-  for (index_t i = 0; i < a.rows(); ++i) {
+  ctx.parallel_for(0, a.rows(), [&](std::int64_t i) {
     for (index_t k = 0; k < a.cols(); ++k) {
       const float av = a(i, k).to_float();
       if (av == 0.0f) continue;
@@ -198,14 +199,14 @@ Matrix<float> reference_matmul(ConstMatrixView<Half> a,
         c(i, j) += av * w(k, j);
       }
     }
-  }
+  });
   return c;
 }
 
 FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
                                const layout::MarlinWeights& b,
                                const KernelConfig& cfg, int num_sms,
-                               ThreadPool* pool) {
+                               const SimContext& ctx) {
   const index_t m = a.rows(), k = a.cols(), n = b.n;
   MARLIN_CHECK(k == b.k, "A cols must equal B rows");
   MARLIN_CHECK(k % 64 == 0, "K must be divisible by 64");
@@ -225,17 +226,13 @@ FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
   const StripedPartition part = striped_partition(
       grid.tile_rows, grid.tile_cols, num_sms, grid.m_blocks);
 
-  // --- Phase 1: data-parallel stripe execution. ---
+  // --- Phase 1: data-parallel stripe execution. Outputs are indexed by
+  // SM, so the execution order (and thread count) cannot affect them. ---
   std::vector<SmOutput> outputs(static_cast<std::size_t>(num_sms));
-  auto run_one = [&](std::int64_t sm) {
+  ctx.parallel_for(0, num_sms, [&](std::int64_t sm) {
     outputs[static_cast<std::size_t>(sm)] =
         run_sm(a, b, cfg, grid, part.sm_tiles[static_cast<std::size_t>(sm)]);
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(0, num_sms, run_one);
-  } else {
-    for (int sm = 0; sm < num_sms; ++sm) run_one(sm);
-  }
+  });
 
   FunctionalResult res;
   res.c = Matrix<Half>(m, n);
@@ -321,6 +318,15 @@ FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
   }
   MARLIN_ASSERT(res.reduction_steps == part.reduction_steps());
   return res;
+}
+
+FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
+                               const layout::MarlinWeights& b,
+                               const KernelConfig& cfg, int num_sms,
+                               ThreadPool* pool) {
+  if (pool == nullptr) return marlin_matmul(a, b, cfg, num_sms);
+  const SimContext ctx(*pool);
+  return marlin_matmul(a, b, cfg, num_sms, ctx);
 }
 
 }  // namespace marlin::core

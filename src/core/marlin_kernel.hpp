@@ -16,16 +16,17 @@
 // Data traffic at each memory level is recorded as the kernel runs; the
 // timing layer prices the identical schedule.
 //
-// On the host, SM workloads run on a thread pool (they are data-parallel;
-// the serial FP16 reduction is performed as an ordered second phase, which
-// is the same dataflow the GPU lock buffer enforces).
+// On the host, SM workloads run on the SimContext's shared pool (they are
+// data-parallel; the serial FP16 reduction is performed as an ordered
+// second phase, which is the same dataflow the GPU lock buffer enforces),
+// so results are bit-identical at every thread count.
 
 #include "core/config.hpp"
 #include "core/partition.hpp"
 #include "gpusim/memory.hpp"
 #include "layout/repack.hpp"
 #include "util/matrix.hpp"
-#include "util/threadpool.hpp"
+#include "util/sim_context.hpp"
 
 namespace marlin::core {
 
@@ -39,14 +40,24 @@ struct FunctionalResult {
 
 /// C = A * dequant(B). A is M x K FP16; B is the repacked MARLIN weight
 /// stream. `num_sms` controls the striped partition (use the target
-/// device's SM count); `pool` optionally parallelises SM execution.
+/// device's SM count); `ctx` parallelises SM execution on its shared pool
+/// (the default serial context runs inline).
+FunctionalResult marlin_matmul(
+    ConstMatrixView<Half> a, const layout::MarlinWeights& b,
+    const KernelConfig& cfg, int num_sms,
+    const SimContext& ctx = SimContext::serial_context());
+
+/// Transitional shim for the pre-SimContext signature; one release only.
+[[deprecated("pass a SimContext instead of a raw ThreadPool*")]]
 FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
                                const layout::MarlinWeights& b,
                                const KernelConfig& cfg, int num_sms,
-                               ThreadPool* pool = nullptr);
+                               ThreadPool* pool);
 
 /// Reference: plain FP32-accumulate GEMM over the dequantised weights.
-Matrix<float> reference_matmul(ConstMatrixView<Half> a,
-                               ConstMatrixView<float> w);
+/// Rows are independent; `ctx` fans them out with bit-identical results.
+Matrix<float> reference_matmul(
+    ConstMatrixView<Half> a, ConstMatrixView<float> w,
+    const SimContext& ctx = SimContext::serial_context());
 
 }  // namespace marlin::core

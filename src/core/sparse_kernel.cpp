@@ -19,7 +19,7 @@ struct SmOutput {
 FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
                                       const sparse::Sparse24Weights& b,
                                       const KernelConfig& cfg, int num_sms,
-                                      ThreadPool* pool) {
+                                      const SimContext& ctx) {
   const index_t m = a.rows(), k = a.cols(), n = b.n;
   MARLIN_CHECK(k == b.k, "A cols must equal B (original) rows");
   MARLIN_CHECK(k % 64 == 0, "K must be divisible by 64");
@@ -103,11 +103,7 @@ FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
     flush();
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for(0, num_sms, run_one);
-  } else {
-    for (int sm = 0; sm < num_sms; ++sm) run_one(sm);
-  }
+  ctx.parallel_for(0, num_sms, run_one);
 
   FunctionalResult res;
   res.c = Matrix<Half>(m, n);
@@ -157,6 +153,15 @@ FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
     }
   }
   return res;
+}
+
+FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
+                                      const sparse::Sparse24Weights& b,
+                                      const KernelConfig& cfg, int num_sms,
+                                      ThreadPool* pool) {
+  if (pool == nullptr) return sparse_marlin_matmul(a, b, cfg, num_sms);
+  const SimContext ctx(*pool);
+  return sparse_marlin_matmul(a, b, cfg, num_sms, ctx);
 }
 
 }  // namespace marlin::core

@@ -35,6 +35,19 @@ double layer_output_nmse(ConstMatrixView<float> w,
   return den > 0 ? num / den : 0.0;
 }
 
+std::vector<double> layer_output_nmse_sweep(
+    const SimContext& ctx, ConstMatrixView<float> w,
+    const std::vector<Matrix<float>>& w_hats, ConstMatrixView<float> calib) {
+  std::vector<double> out(w_hats.size());
+  ctx.parallel_for(0, static_cast<std::int64_t>(w_hats.size()),
+                   [&](std::int64_t i) {
+                     out[static_cast<std::size_t>(i)] = layer_output_nmse(
+                         w, w_hats[static_cast<std::size_t>(i)].view(),
+                         calib);
+                   });
+  return out;
+}
+
 double weight_nmse(ConstMatrixView<float> w, ConstMatrixView<float> w_hat) {
   MARLIN_CHECK(w.rows() == w_hat.rows() && w.cols() == w_hat.cols(),
                "weight shapes differ");

@@ -1,7 +1,10 @@
 #pragma once
 // Layer-quality metrics used by the Fig. 6 / Table 1 reproductions.
 
+#include <vector>
+
 #include "util/matrix.hpp"
+#include "util/sim_context.hpp"
 
 namespace marlin::eval {
 
@@ -10,6 +13,13 @@ namespace marlin::eval {
 [[nodiscard]] double layer_output_nmse(ConstMatrixView<float> w,
                                        ConstMatrixView<float> w_hat,
                                        ConstMatrixView<float> calib);
+
+/// layer_output_nmse for a batch of candidate reconstructions against the
+/// same reference — the hot loop of the Fig. 6 / Table 1 quality sweeps —
+/// fanned out on the context, results in candidate order.
+[[nodiscard]] std::vector<double> layer_output_nmse_sweep(
+    const SimContext& ctx, ConstMatrixView<float> w,
+    const std::vector<Matrix<float>>& w_hats, ConstMatrixView<float> calib);
 
 /// Plain weight-space NMSE ||W - W_hat||_F^2 / ||W||_F^2.
 [[nodiscard]] double weight_nmse(ConstMatrixView<float> w,

@@ -16,6 +16,19 @@ double accuracy_proxy(double base_acc, double nmse, double sensitivity) {
   return base_acc - sensitivity * std::sqrt(nmse) * 100.0;
 }
 
+std::vector<double> perplexity_proxy(const SimContext& ctx, double base_ppl,
+                                     const std::vector<double>& nmse,
+                                     double kappa) {
+  // Scalar math per point — pool dispatch would cost more than the work.
+  (void)ctx;
+  std::vector<double> out;
+  out.reserve(nmse.size());
+  for (const double e : nmse) {
+    out.push_back(perplexity_proxy(base_ppl, e, kappa));
+  }
+  return out;
+}
+
 double calibrate_kappa(double base_ppl, double anchor_ppl,
                        double anchor_nmse) {
   MARLIN_CHECK(anchor_nmse > 0, "anchor nmse must be positive");

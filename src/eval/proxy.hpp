@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/sim_context.hpp"
+
 namespace marlin::eval {
 
 struct QualityAnchors {
@@ -35,6 +37,14 @@ struct QualityAnchors {
 /// Task-accuracy proxy in percentage points.
 [[nodiscard]] double accuracy_proxy(double base_acc, double nmse,
                                     double sensitivity);
+
+/// Batched perplexity mapping over one Pareto sweep's measured NMSE
+/// points, in input order. Takes the session context for API uniformity
+/// with the heavier eval sweeps, but the per-point math is a handful of
+/// FLOPs, so it deliberately runs inline rather than on the pool.
+[[nodiscard]] std::vector<double> perplexity_proxy(
+    const SimContext& ctx, double base_ppl, const std::vector<double>& nmse,
+    double kappa);
 
 /// kappa such that perplexity_proxy(base, anchor_nmse) == anchor_ppl.
 [[nodiscard]] double calibrate_kappa(double base_ppl, double anchor_ppl,

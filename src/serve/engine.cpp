@@ -53,8 +53,11 @@ Engine::Engine(EngineConfig cfg)
 }
 
 double Engine::linear_layers_seconds(index_t m) const {
-  if (const auto it = linear_cache_.find(m); it != linear_cache_.end()) {
-    return it->second;
+  {
+    const std::lock_guard lock(cache_mutex_);
+    if (const auto it = linear_cache_.find(m); it != linear_cache_.end()) {
+      return it->second;
+    }
   }
   double per_block = 0.0;
   const auto layers = block_linear_layers(cfg_.model);
@@ -76,6 +79,7 @@ double Engine::linear_layers_seconds(index_t m) const {
   total += baselines::make_kernel_model("fp16")
                ->estimate(head, cfg_.gpu, cfg_.clock)
                .seconds;
+  const std::lock_guard lock(cache_mutex_);
   linear_cache_[m] = total;
   return total;
 }
@@ -115,13 +119,17 @@ double Engine::decode_step_seconds(index_t batch, double avg_context) const {
   // Bucket contexts to keep the memo small (64-token buckets).
   const index_t ctx_bucket = static_cast<index_t>(avg_context / 64.0);
   const auto key = std::make_pair(batch, ctx_bucket);
-  if (const auto it = decode_cache_.find(key); it != decode_cache_.end()) {
-    return it->second;
+  {
+    const std::lock_guard lock(cache_mutex_);
+    if (const auto it = decode_cache_.find(key); it != decode_cache_.end()) {
+      return it->second;
+    }
   }
   const double ctx = static_cast<double>(ctx_bucket) * 64.0 + 32.0;
   const double t = linear_layers_seconds(batch) +
                    attention_decode_seconds(batch, ctx) +
                    allreduce_seconds(batch) + cfg_.step_overhead_s;
+  const std::lock_guard lock(cache_mutex_);
   decode_cache_[key] = t;
   return t;
 }

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "baselines/kernel_model.hpp"
 #include "gpusim/clock.hpp"
@@ -47,7 +48,10 @@ class Engine {
   explicit Engine(EngineConfig cfg);
 
   /// Seconds to advance every sequence of `batch` by one token, with the
-  /// given mean context length. Results are memoised.
+  /// given mean context length. Results are memoised; the memo caches are
+  /// mutex-guarded so one Engine can be shared by concurrent sweep workers
+  /// (values are deterministic, so duplicated computation of a missing
+  /// entry is benign).
   [[nodiscard]] double decode_step_seconds(index_t batch,
                                            double avg_context) const;
 
@@ -67,6 +71,11 @@ class Engine {
 
   EngineConfig cfg_;
   baselines::KernelModelPtr kernel_;
+  /// Guards both memo caches; held only around lookups/inserts, never
+  /// across the kernel-model estimates, so the cache fills concurrently
+  /// without lock nesting (linear_layers_seconds runs under no lock when
+  /// decode_step_seconds computes a miss).
+  mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<index_t, index_t>, double> decode_cache_;
   mutable std::map<index_t, double> linear_cache_;
 };

@@ -1,9 +1,55 @@
 #include "util/threadpool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace marlin {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+/// Shared bookkeeping of one parallel_for call. Heap-allocated and owned
+/// jointly by the caller and the queued chunk runners: a runner that is
+/// still queued when all chunks have been claimed must find valid (empty)
+/// state, not a dead stack frame.
+struct ForState {
+  std::int64_t begin = 0;
+  std::int64_t n = 0;
+  std::int64_t n_chunks = 0;
+  std::function<void(std::int64_t)> fn;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<std::int64_t> chunks_left{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+/// Claims and runs chunks until none remain. Chunks after a failure still
+/// run (the failing chunk alone stops early); the first exception wins.
+void run_chunks(const std::shared_ptr<ForState>& s) {
+  for (;;) {
+    const std::int64_t c = s->next_chunk.fetch_add(1);
+    if (c >= s->n_chunks) return;
+    const std::int64_t lo = s->begin + s->n * c / s->n_chunks;
+    const std::int64_t hi = s->begin + s->n * (c + 1) / s->n_chunks;
+    try {
+      for (std::int64_t i = lo; i < hi; ++i) s->fn(i);
+    } catch (...) {
+      const std::lock_guard lock(s->error_mutex);
+      if (!s->error) s->error = std::current_exception();
+    }
+    if (s->chunks_left.fetch_sub(1) == 1) {
+      const std::lock_guard lock(s->done_mutex);
+      s->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned n_threads) {
   if (n_threads == 0) {
@@ -24,7 +70,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker_thread; }
+
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -41,41 +90,35 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
                               const std::function<void(std::int64_t)>& fn) {
   if (begin >= end) return;
-  const std::int64_t n = end - begin;
 
-  struct State {
-    std::atomic<std::int64_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  } state;
-  state.remaining.store(n);
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->n = end - begin;
+  // ~4 chunks per executor: fine-grained enough to rebalance uneven
+  // per-index work, coarse enough that dispatch cost stays O(threads).
+  state->n_chunks =
+      std::min<std::int64_t>(state->n, 4 * (static_cast<std::int64_t>(size()) + 1));
+  state->chunks_left.store(state->n_chunks);
+  state->fn = fn;
 
-  auto run_one = [&state, &fn](std::int64_t i) {
-    try {
-      fn(i);
-    } catch (...) {
-      const std::lock_guard lock(state.error_mutex);
-      if (!state.error) state.error = std::current_exception();
-    }
-    if (state.remaining.fetch_sub(1) == 1) {
-      const std::lock_guard lock(state.done_mutex);
-      state.done_cv.notify_all();
-    }
-  };
-
+  // One claim loop per worker at most; surplus runners would only find an
+  // empty chunk counter.
+  const std::int64_t helpers =
+      std::min<std::int64_t>(state->n_chunks, static_cast<std::int64_t>(size()));
   {
     const std::lock_guard lock(mutex_);
-    for (std::int64_t i = begin; i < end; ++i) {
-      queue_.emplace([&run_one, i] { run_one(i); });
+    for (std::int64_t t = 0; t < helpers; ++t) {
+      queue_.emplace([state] { run_chunks(state); });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock lock(state.done_mutex);
-  state.done_cv.wait(lock, [&state] { return state.remaining.load() == 0; });
-  if (state.error) std::rethrow_exception(state.error);
+  run_chunks(state);
+
+  std::unique_lock lock(state->done_mutex);
+  state->done_cv.wait(lock,
+                      [&state] { return state->chunks_left.load() == 0; });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace marlin

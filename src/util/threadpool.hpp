@@ -6,6 +6,14 @@
 // serial execution with identical results (tasks are independent by
 // construction — the striped global reduction is ordered via its own
 // lock-buffer protocol, not via the pool).
+//
+// parallel_for dispatches the range as contiguous *chunks* (~4 per
+// executor), not one task per index, so 100k-iteration sweeps pay dozens
+// of queue operations instead of 100k. The calling thread claims chunks
+// alongside the workers, which makes even a *nested* parallel_for on the
+// same pool deadlock-free: a caller that happens to run on a worker thread
+// simply drains its own chunks itself. Prefer constructing pools through
+// SimContext (util/sim_context.hpp) rather than directly.
 
 #include <condition_variable>
 #include <cstdint>
@@ -30,10 +38,20 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Runs fn(i) for i in [begin, end), blocking until all complete.
-  /// Exceptions from tasks are rethrown (first one wins).
+  /// Runs fn(i) for i in [begin, end), blocking until all complete. The
+  /// caller participates, so `size()` workers give `size() + 1` executors.
+  /// On exception: the failing chunk stops at the throwing index, the
+  /// other chunks still run to completion, the first exception (in claim
+  /// order) is rethrown once all chunks finish, and the pool stays
+  /// usable. Do not rely on which indices ran when fn can throw.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t)>& fn);
+
+  /// True when the calling thread is a ThreadPool worker (of any pool).
+  /// SimContext uses this as its nesting guard: an inner parallel_for
+  /// issued from a pool worker degrades to inline execution instead of
+  /// oversubscribing the host.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
 
  private:
   void worker_loop();

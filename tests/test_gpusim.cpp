@@ -35,6 +35,27 @@ TEST(Device, CatalogLookup) {
   EXPECT_EQ(all_devices().size(), 4u);
 }
 
+TEST(Device, UnknownNameSuggestsClosestSpelling) {
+  try {
+    device_by_name("a1000");
+    FAIL() << "lookup should have thrown";
+  } catch (const marlin::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("a1000"), std::string::npos);
+    EXPECT_NE(what.find("did you mean `A100`?"), std::string::npos);
+    EXPECT_NE(what.find("A10, RTX3090, RTXA6000, A100"), std::string::npos);
+  }
+  // Gibberish gets the catalog but no far-fetched suggestion.
+  try {
+    device_by_name("zzzzzzzzzzzz");
+    FAIL() << "lookup should have thrown";
+  } catch (const marlin::Error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos);
+    EXPECT_NE(what.find("known: A10"), std::string::npos);
+  }
+}
+
 TEST(Device, GeForceHalfRateTensorCores) {
   // 3090 has more SMs than A10 but lower FP16+FP32-acc TC peak.
   EXPECT_LT(rtx3090().fp16_tc_tflops_boost, a10().fp16_tc_tflops_boost);

@@ -138,14 +138,14 @@ TEST(MarlinKernel, IdenticalResultsForAnySmCount) {
   }
 }
 
-TEST(MarlinKernel, ThreadPoolMatchesSerial) {
+TEST(MarlinKernel, SimContextMatchesSerial) {
   const auto a = random_activations(8, 128, 30);
   const auto q = random_qweights(128, 256, 64, 31);
   const auto mw = layout::marlin_repack(q);
   KernelConfig cfg;
-  const auto serial = marlin_matmul(a.view(), mw, cfg, 16, nullptr);
-  ThreadPool pool(4);
-  const auto parallel = marlin_matmul(a.view(), mw, cfg, 16, &pool);
+  const auto serial = marlin_matmul(a.view(), mw, cfg, 16);
+  const SimContext ctx(4);
+  const auto parallel = marlin_matmul(a.view(), mw, cfg, 16, ctx);
   for (index_t i = 0; i < 8; ++i) {
     for (index_t j = 0; j < 256; ++j) {
       EXPECT_EQ(serial.c(i, j).bits(), parallel.c(i, j).bits());

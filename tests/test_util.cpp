@@ -9,6 +9,7 @@
 #include "util/error.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/sim_context.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
@@ -134,27 +135,28 @@ TEST(Cli, ParsesAllForms) {
   EXPECT_EQ(args.positional()[0], "positional");
 }
 
+// The pool is reached through SimContext — the only supported owner.
 TEST(ThreadPool, RunsAllIndices) {
-  ThreadPool pool(4);
+  const SimContext ctx(5);  // 4 workers + caller
   std::vector<std::atomic<int>> hits(100);
-  pool.parallel_for(0, 100, [&](std::int64_t i) {
+  ctx.pool()->parallel_for(0, 100, [&](std::int64_t i) {
     hits[static_cast<std::size_t>(i)].fetch_add(1);
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, PropagatesException) {
-  ThreadPool pool(2);
-  EXPECT_THROW(pool.parallel_for(0, 8,
-                                 [&](std::int64_t i) {
-                                   if (i == 5) throw Error("boom");
-                                 }),
+  const SimContext ctx(3);
+  EXPECT_THROW(ctx.pool()->parallel_for(0, 8,
+                                        [&](std::int64_t i) {
+                                          if (i == 5) throw Error("boom");
+                                        }),
                Error);
 }
 
 TEST(ThreadPool, EmptyRangeNoop) {
-  ThreadPool pool(2);
-  pool.parallel_for(5, 5, [](std::int64_t) { FAIL(); });
+  const SimContext ctx(3);
+  ctx.pool()->parallel_for(5, 5, [](std::int64_t) { FAIL(); });
 }
 
 TEST(ErrorMacro, MessageContainsContext) {
