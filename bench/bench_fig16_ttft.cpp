@@ -13,7 +13,13 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   using serve::WeightFormat;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  const SimContext ctx = bench::make_context(args);
+  // --seed reproduces the identical Poisson trace; --policy swaps the
+  // scheduler's admission order (defaults are the goldens configuration).
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto policy =
+      serve::sched::policy_by_name(args.get_string("policy", "fcfs"));
   std::cout << "=== Figure 16: Llama-2-7B TTFT on RTX A6000 "
                "(64 in / 64 out) ===\n\n";
 
@@ -30,6 +36,7 @@ int main(int argc, char** argv) {
     cfg.format = fmt;
     engines.push_back(std::make_unique<serve::Engine>(cfg));
   }
+  for (const auto& e : engines) e->warm_decode_cache(ctx, 128, 128.0);
 
   struct Point {
     std::size_t engine;
@@ -43,6 +50,8 @@ int main(int argc, char** argv) {
     serve::ServingConfig sc;
     sc.qps = pt.qps;
     sc.duration_s = 120.0;
+    sc.seed = seed;
+    sc.policy = policy;
     return serve::simulate_serving(*engines[pt.engine], sc).mean_ttft_ms;
   });
 

@@ -6,6 +6,14 @@
 // sweep points out on the SimContext's shared pool via run_sweep. Results
 // are collected by point index and printed afterwards, so the table output
 // is byte-identical at every thread count.
+//
+// Serving benches (fig15/fig16/bench_serve_scheduler) additionally accept:
+//   --seed S     workload-trace seed (default 42). The trace generator is
+//                a fixed-seed deterministic Rng, so the same seed
+//                reproduces the identical arrival/length trace on every
+//                platform and thread count — goldens rely on seed 42.
+//   --policy P   scheduler admission policy: fcfs | sjf | max-util
+//                (default fcfs, the goldens configuration).
 
 #include <chrono>
 #include <functional>
@@ -27,6 +35,11 @@ namespace marlin::bench {
 /// Context for a bench main(): honours --threads / MARLIN_THREADS.
 inline SimContext make_context(int argc, const char* const* argv) {
   return make_sim_context(CliArgs(argc, argv));
+}
+
+/// Same, for benches that also read their own flags from the CliArgs.
+inline SimContext make_context(const CliArgs& args) {
+  return make_sim_context(args);
 }
 
 /// Runs fn over every sweep point on the context's pool and returns the

@@ -1,10 +1,13 @@
-// Serving simulation: a vLLM-style server under Poisson client load,
+// Serving simulation: a vLLM-style server under trace-driven client load,
 // comparing weight formats — the paper's §5.2 client-count experiment as a
-// runnable tool. The three engine simulations run concurrently under
-// `--threads N` (fixed seed keeps the table deterministic).
+// runnable tool, now on top of the request-level scheduler subsystem
+// (paged KV cache, admission policies, preemption). The three engine
+// simulations run concurrently under `--threads N` (fixed seed keeps the
+// table deterministic).
 //
 //   $ ./serving_simulation --model llama-2-7b --device rtxa6000 --qps 5
 //   $ ./serving_simulation --model llama-2-70b --device a100 --gpus 4
+//   $ ./serving_simulation --workload sharegpt --policy sjf --kv-blocks 256
 
 #include <iostream>
 
@@ -14,6 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
+  namespace sched = serve::sched;
   const CliArgs args(argc, argv);
   const SimContext ctx = make_sim_context(args);
   serve::EngineConfig ecfg;
@@ -27,11 +31,20 @@ int main(int argc, char** argv) {
   scfg.duration_s = args.get_double("duration", 120.0);
   scfg.input_tokens = args.get_int("input-tokens", 64);
   scfg.output_tokens = args.get_int("output-tokens", 64);
+  scfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  scfg.shape = sched::workload_by_name(args.get_string("workload", "poisson"));
+  scfg.policy = sched::policy_by_name(args.get_string("policy", "fcfs"));
+  // --kv-blocks: -1 derives the budget from the device HBM next to the
+  // weights; 0 keeps it unlimited; any positive count is used as-is.
+  const index_t kv_flag = args.get_int("kv-blocks", 0);
+  scfg.kv_block_size = args.get_int("kv-block-size", 16);
+  scfg.prefill_chunk_tokens = args.get_int("prefill-chunk", 0);
 
   std::cout << ecfg.model.name << " on " << ecfg.num_gpus << "x "
-            << ecfg.gpu.name << ", " << scfg.qps << " QPS, "
-            << scfg.input_tokens << " in / " << scfg.output_tokens
-            << " out\n\n";
+            << ecfg.gpu.name << ", " << scfg.qps << " QPS "
+            << sched::to_string(scfg.shape) << ", " << scfg.input_tokens
+            << " in / " << scfg.output_tokens << " out, policy "
+            << sched::to_string(scfg.policy) << "\n\n";
 
   const std::vector<serve::WeightFormat> formats{
       serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,
@@ -42,7 +55,14 @@ int main(int argc, char** argv) {
                      auto cfg = ecfg;
                      cfg.format = formats[static_cast<std::size_t>(i)];
                      const serve::Engine engine(cfg);
-                     const auto m = serve::simulate_serving(engine, scfg);
+                     auto sc = scfg;
+                     sc.kv_blocks =
+                         kv_flag < 0 ? sched::derive_kv_block_budget(
+                                           engine, sc.kv_block_size)
+                                     : kv_flag;
+                     const auto st =
+                         serve::simulate_serving_detailed(engine, sc);
+                     const auto& m = st.metrics;
                      rows[static_cast<std::size_t>(i)] = {
                          serve::to_string(cfg.format),
                          format_double(m.mean_tpot_ms, 2),
@@ -51,11 +71,12 @@ int main(int argc, char** argv) {
                          format_double(m.p90_ttft_ms, 2),
                          format_double(m.mean_batch, 1),
                          std::to_string(m.completed),
+                         std::to_string(st.preemptions),
                          format_bytes(engine.weight_bytes_per_gpu())};
                    });
 
   Table table({"engine", "TPOT ms", "p90 TPOT", "TTFT ms", "p90 TTFT",
-               "mean batch", "completed", "weights/GPU"});
+               "mean batch", "completed", "preempt", "weights/GPU"});
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   return 0;

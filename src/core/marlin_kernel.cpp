@@ -320,13 +320,4 @@ FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
   return res;
 }
 
-FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
-                               const layout::MarlinWeights& b,
-                               const KernelConfig& cfg, int num_sms,
-                               ThreadPool* pool) {
-  if (pool == nullptr) return marlin_matmul(a, b, cfg, num_sms);
-  const SimContext ctx(*pool);
-  return marlin_matmul(a, b, cfg, num_sms, ctx);
-}
-
 }  // namespace marlin::core

@@ -47,13 +47,6 @@ FunctionalResult marlin_matmul(
     const KernelConfig& cfg, int num_sms,
     const SimContext& ctx = SimContext::serial_context());
 
-/// Transitional shim for the pre-SimContext signature; one release only.
-[[deprecated("pass a SimContext instead of a raw ThreadPool*")]]
-FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
-                               const layout::MarlinWeights& b,
-                               const KernelConfig& cfg, int num_sms,
-                               ThreadPool* pool);
-
 /// Reference: plain FP32-accumulate GEMM over the dequantised weights.
 /// Rows are independent; `ctx` fans them out with bit-identical results.
 Matrix<float> reference_matmul(

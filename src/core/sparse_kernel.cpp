@@ -155,13 +155,4 @@ FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
   return res;
 }
 
-FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
-                                      const sparse::Sparse24Weights& b,
-                                      const KernelConfig& cfg, int num_sms,
-                                      ThreadPool* pool) {
-  if (pool == nullptr) return sparse_marlin_matmul(a, b, cfg, num_sms);
-  const SimContext ctx(*pool);
-  return sparse_marlin_matmul(a, b, cfg, num_sms, ctx);
-}
-
 }  // namespace marlin::core

@@ -21,11 +21,4 @@ FunctionalResult sparse_marlin_matmul(
     const KernelConfig& cfg, int num_sms,
     const SimContext& ctx = SimContext::serial_context());
 
-/// Transitional shim for the pre-SimContext signature; one release only.
-[[deprecated("pass a SimContext instead of a raw ThreadPool*")]]
-FunctionalResult sparse_marlin_matmul(ConstMatrixView<Half> a,
-                                      const sparse::Sparse24Weights& b,
-                                      const KernelConfig& cfg, int num_sms,
-                                      ThreadPool* pool);
-
 }  // namespace marlin::core

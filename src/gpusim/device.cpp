@@ -51,6 +51,7 @@ DeviceSpec a10() {
   d.base_clock_ghz = 0.885;
   d.boost_clock_ghz = 1.695;
   d.gmem_bandwidth_gbs = 600.0;
+  d.hbm_gb = 24.0;
   d.l2_size_bytes = 6.0 * 1024 * 1024;
   d.l2_bandwidth_gbs = 1800.0;
   d.smem_per_sm_bytes = 100.0 * 1024;
@@ -68,6 +69,7 @@ DeviceSpec a100_80g() {
   d.base_clock_ghz = 1.275;
   d.boost_clock_ghz = 1.410;
   d.gmem_bandwidth_gbs = 2039.0;
+  d.hbm_gb = 80.0;
   d.l2_size_bytes = 40.0 * 1024 * 1024;
   d.l2_bandwidth_gbs = 4800.0;
   d.smem_per_sm_bytes = 164.0 * 1024;
@@ -86,6 +88,7 @@ DeviceSpec rtx3090() {
   d.base_clock_ghz = 1.395;
   d.boost_clock_ghz = 1.695;
   d.gmem_bandwidth_gbs = 936.0;
+  d.hbm_gb = 24.0;
   d.l2_size_bytes = 6.0 * 1024 * 1024;
   d.l2_bandwidth_gbs = 2300.0;
   d.smem_per_sm_bytes = 100.0 * 1024;
@@ -103,6 +106,7 @@ DeviceSpec rtxa6000() {
   d.base_clock_ghz = 1.455;
   d.boost_clock_ghz = 1.800;
   d.gmem_bandwidth_gbs = 768.0;
+  d.hbm_gb = 48.0;
   d.l2_size_bytes = 6.0 * 1024 * 1024;
   d.l2_bandwidth_gbs = 2000.0;
   d.smem_per_sm_bytes = 100.0 * 1024;

@@ -30,6 +30,9 @@ struct DeviceSpec {
   double sparse_tc_multiplier = 2.0;
   /// Fixed host-side kernel launch latency.
   double kernel_launch_s = 5e-6;
+  /// On-device memory capacity (GB, 1e9 bytes) — bounds the KV-cache block
+  /// budget of the serving scheduler once weights are resident.
+  double hbm_gb = 24.0;
   int warp_schedulers_per_sm = 4;
   /// Per-GPU interconnect used for tensor-parallel all-reduce.
   double interconnect_bandwidth_gbs = 32.0;  // PCIe 4.0 x16 default
@@ -48,6 +51,7 @@ struct DeviceSpec {
   [[nodiscard]] double gmem_bytes_per_s() const {
     return gmem_bandwidth_gbs * 1e9;
   }
+  [[nodiscard]] double hbm_bytes() const { return hbm_gb * 1e9; }
   [[nodiscard]] double l2_bytes_per_s() const { return l2_bandwidth_gbs * 1e9; }
   /// FLOP-per-byte ridge point at the given clock (paper §3.1).
   [[nodiscard]] double flops_per_byte(double clock_ghz) const {

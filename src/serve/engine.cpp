@@ -84,15 +84,19 @@ double Engine::linear_layers_seconds(index_t m) const {
   return total;
 }
 
+double Engine::kv_bytes_per_token() const {
+  // 2 (K and V) * layers * kv_heads * head_dim * 2 bytes, sharded.
+  return 2.0 * static_cast<double>(cfg_.model.num_layers) *
+         static_cast<double>(cfg_.model.num_kv_heads) *
+         static_cast<double>(cfg_.model.head_dim) * 2.0 / cfg_.num_gpus;
+}
+
 double Engine::attention_decode_seconds(index_t batch,
                                         double avg_context) const {
   // Paged attention is dominated by streaming the KV cache of every
-  // sequence: 2 (K and V) * layers * kv_heads * head_dim * ctx * 2 bytes.
-  const double kv_bytes = 2.0 * static_cast<double>(cfg_.model.num_layers) *
-                          static_cast<double>(cfg_.model.num_kv_heads) *
-                          static_cast<double>(cfg_.model.head_dim) *
-                          avg_context * static_cast<double>(batch) * 2.0 /
-                          cfg_.num_gpus;
+  // sequence.
+  const double kv_bytes =
+      kv_bytes_per_token() * avg_context * static_cast<double>(batch);
   const double t_mem =
       kv_bytes /
       (cfg_.gpu.gmem_bytes_per_s() * cfg_.attention_mem_efficiency);
@@ -147,6 +151,21 @@ double Engine::prefill_seconds(index_t batch, index_t prompt_tokens) const {
   const double t_attn = attn_flops / (cfg_.gpu.tc_flops(clock) * 0.5);
   return linear_layers_seconds(m) + t_attn + allreduce_seconds(m) +
          cfg_.prefill_overhead_s;
+}
+
+void Engine::warm_decode_cache(const SimContext& ctx, index_t max_batch,
+                               double max_context) const {
+  if (ctx.serial()) return;
+  MARLIN_CHECK(max_batch >= 1, "batch must be >= 1");
+  // One task per batch size fills the (mutex-guarded) linear-layer memo —
+  // the expensive kernel-model part — concurrently; every 64-token context
+  // bucket is then priced from the already-cached linear time.
+  const auto buckets = static_cast<index_t>(max_context / 64.0) + 1;
+  ctx.parallel_for(1, max_batch + 1, [&](std::int64_t batch) {
+    for (index_t b = 0; b < buckets; ++b) {
+      (void)decode_step_seconds(batch, static_cast<double>(b) * 64.0 + 1.0);
+    }
+  });
 }
 
 double Engine::weight_bytes_per_gpu() const {

@@ -19,6 +19,7 @@
 #include "baselines/kernel_model.hpp"
 #include "gpusim/clock.hpp"
 #include "serve/model_config.hpp"
+#include "util/sim_context.hpp"
 
 namespace marlin::serve {
 
@@ -62,6 +63,19 @@ class Engine {
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   /// Quantized+sharded weight bytes resident per GPU.
   [[nodiscard]] double weight_bytes_per_gpu() const;
+  /// FP16 KV-cache bytes one context token occupies per GPU (K and V for
+  /// every layer, sharded across the tensor-parallel group). The serving
+  /// scheduler derives its block budget from this.
+  [[nodiscard]] double kv_bytes_per_token() const;
+
+  /// Pre-fills the decode memo for every batch in [1, max_batch] and the
+  /// context buckets up to `max_context`, fanning the per-GPU step-model
+  /// evaluations out on the context's shared pool. Purely a warm-up: the
+  /// cached values are identical to on-demand computation, so simulation
+  /// results are bit-identical whether or not (and on how many threads)
+  /// this ran. A serial context skips the fan-out.
+  void warm_decode_cache(const SimContext& ctx, index_t max_batch,
+                         double max_context) const;
 
  private:
   [[nodiscard]] double linear_layers_seconds(index_t m) const;

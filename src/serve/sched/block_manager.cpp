@@ -1,0 +1,118 @@
+#include "serve/sched/block_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace marlin::serve::sched {
+
+BlockManager::BlockManager(BlockManagerConfig cfg) : cfg_(cfg) {
+  MARLIN_CHECK(cfg_.block_size >= 1, "block size must be >= 1 token");
+  MARLIN_CHECK(cfg_.num_blocks >= 0, "negative block budget");
+  MARLIN_CHECK(cfg_.watermark >= 0.0 && cfg_.watermark < 1.0,
+               "watermark must be in [0, 1)");
+  if (!unlimited()) {
+    watermark_blocks_ = static_cast<index_t>(
+        std::ceil(cfg_.watermark * static_cast<double>(cfg_.num_blocks)));
+    allocated_.assign(static_cast<std::size_t>(cfg_.num_blocks), false);
+    free_list_.reserve(static_cast<std::size_t>(cfg_.num_blocks));
+    // Stack of ids; popping from the back hands out 0, 1, 2, ... first.
+    for (index_t i = cfg_.num_blocks - 1; i >= 0; --i) free_list_.push_back(i);
+  }
+}
+
+index_t BlockManager::free_blocks() const {
+  if (unlimited()) return std::numeric_limits<index_t>::max() / 2;
+  return cfg_.num_blocks - used_;
+}
+
+index_t BlockManager::blocks_for_tokens(index_t tokens) const {
+  return (tokens + cfg_.block_size - 1) / cfg_.block_size;
+}
+
+bool BlockManager::can_admit(index_t tokens) const {
+  if (unlimited()) return true;
+  return blocks_for_tokens(tokens) + watermark_blocks_ <= free_blocks();
+}
+
+bool BlockManager::can_allocate(index_t n) const {
+  return unlimited() || n <= free_blocks();
+}
+
+std::vector<index_t> BlockManager::allocate(index_t n) {
+  MARLIN_CHECK(n >= 0, "negative allocation");
+  MARLIN_CHECK(can_allocate(n), "KV budget exhausted: need "
+                                    << n << " blocks, " << free_blocks()
+                                    << " free of " << cfg_.num_blocks);
+  std::vector<index_t> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    index_t id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      MARLIN_ASSERT(unlimited());
+      id = next_fresh_++;
+      allocated_.push_back(false);
+    }
+    MARLIN_ASSERT(!allocated_[static_cast<std::size_t>(id)]);
+    allocated_[static_cast<std::size_t>(id)] = true;
+    ids.push_back(id);
+  }
+  used_ += n;
+  peak_used_ = std::max(peak_used_, used_);
+  return ids;
+}
+
+void BlockManager::free(std::vector<index_t>& ids) {
+  for (const index_t id : ids) {
+    MARLIN_CHECK(id >= 0 &&
+                     id < static_cast<index_t>(allocated_.size()) &&
+                     allocated_[static_cast<std::size_t>(id)],
+                 "double-free or foreign KV block id " << id);
+    allocated_[static_cast<std::size_t>(id)] = false;
+    free_list_.push_back(id);
+  }
+  used_ -= static_cast<index_t>(ids.size());
+  ids.clear();
+}
+
+bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens) {
+  const index_t need =
+      blocks_for_tokens(tokens) - static_cast<index_t>(held.size());
+  if (need <= 0) return true;
+  if (!can_allocate(need)) return false;
+  const auto fresh = allocate(need);
+  held.insert(held.end(), fresh.begin(), fresh.end());
+  return true;
+}
+
+index_t derive_kv_block_budget(const Engine& engine, index_t block_size,
+                               double activation_reserve) {
+  MARLIN_CHECK(block_size >= 1, "block size must be >= 1 token");
+  MARLIN_CHECK(activation_reserve >= 0.0 && activation_reserve < 1.0,
+               "activation reserve must be in [0, 1)");
+  const double hbm = engine.config().gpu.hbm_bytes();
+  const double available = hbm * (1.0 - activation_reserve) -
+                           engine.weight_bytes_per_gpu();
+  MARLIN_CHECK(available > 0,
+               engine.config().model.name
+                   << " weights (" << engine.weight_bytes_per_gpu() / 1e9
+                   << " GB/GPU) do not fit on " << engine.config().gpu.name);
+  const double block_bytes =
+      engine.kv_bytes_per_token() * static_cast<double>(block_size);
+  const auto blocks = static_cast<index_t>(available / block_bytes);
+  // A budget of 0 would mean "unlimited" downstream — refuse instead:
+  // if not even one block fits next to the weights, the device can't
+  // serve this model.
+  MARLIN_CHECK(blocks >= 1,
+               "no KV headroom: " << available / 1e9 << " GB left beside "
+                                  << engine.config().model.name << " on "
+                                  << engine.config().gpu.name);
+  return blocks;
+}
+
+}  // namespace marlin::serve::sched

@@ -1,0 +1,86 @@
+#pragma once
+// Paged KV-cache accounting (vLLM-style block manager).
+//
+// The KV cache is carved into fixed-size blocks of `block_size` tokens; a
+// sequence owns ceil(tokens / block_size) blocks. The manager hands out
+// block ids from a free list, enforces the per-GPU budget, and applies a
+// watermark rule at admission: a new sequence is admitted only if its
+// prefill allocation leaves `watermark` of the budget free, so running
+// sequences have headroom to grow before the scheduler must preempt.
+// Decode-time growth may dip into the watermark reserve.
+//
+// A budget of 0 blocks means "unlimited" — allocation never fails, but ids
+// and peak usage are still tracked (this is the pre-subsystem goldens
+// configuration).
+//
+// The real budget comes from the device: HBM capacity minus resident
+// weights minus an activation reserve, divided by the per-token KV bytes
+// of the model (see `derive_kv_block_budget`).
+
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "util/matrix.hpp"
+
+namespace marlin::serve::sched {
+
+struct BlockManagerConfig {
+  index_t block_size = 16;  // tokens per KV block
+  index_t num_blocks = 0;   // 0 = unlimited
+  /// Fraction of the budget that must stay free after an admission.
+  double watermark = 0.01;
+};
+
+class BlockManager {
+ public:
+  explicit BlockManager(BlockManagerConfig cfg);
+
+  [[nodiscard]] index_t block_size() const { return cfg_.block_size; }
+  [[nodiscard]] bool unlimited() const { return cfg_.num_blocks == 0; }
+  [[nodiscard]] index_t total_blocks() const { return cfg_.num_blocks; }
+  [[nodiscard]] index_t used_blocks() const { return used_; }
+  [[nodiscard]] index_t free_blocks() const;
+  [[nodiscard]] index_t watermark_blocks() const { return watermark_blocks_; }
+  /// High-water mark of blocks simultaneously in use.
+  [[nodiscard]] index_t peak_used_blocks() const { return peak_used_; }
+
+  /// Blocks needed to hold `tokens` tokens of KV.
+  [[nodiscard]] index_t blocks_for_tokens(index_t tokens) const;
+
+  /// Watermark admission rule: can a sequence that prefills `tokens`
+  /// tokens be admitted while leaving the reserve free?
+  [[nodiscard]] bool can_admit(index_t tokens) const;
+  /// Plain capacity check (decode growth — may consume the reserve).
+  [[nodiscard]] bool can_allocate(index_t n) const;
+
+  /// Hands out `n` block ids; throws if the budget cannot cover them.
+  [[nodiscard]] std::vector<index_t> allocate(index_t n);
+
+  /// Returns blocks to the free list and clears `ids`. Freeing a block
+  /// that is not currently allocated throws (double-free guard).
+  void free(std::vector<index_t>& ids);
+
+  /// Grows `held` so it covers `tokens` tokens, allocating only the
+  /// missing tail blocks. Returns false (holdings untouched) if the
+  /// budget cannot cover the growth.
+  [[nodiscard]] bool grow_to(std::vector<index_t>& held, index_t tokens);
+
+ private:
+  BlockManagerConfig cfg_;
+  index_t watermark_blocks_ = 0;
+  index_t used_ = 0;
+  index_t peak_used_ = 0;
+  std::vector<index_t> free_list_;       // bounded mode: ids ready to reuse
+  std::vector<bool> allocated_;          // per-id liveness (double-free guard)
+  index_t next_fresh_ = 0;               // unlimited mode: next unseen id
+};
+
+/// Per-GPU KV block budget of `engine` on its configured device: HBM bytes
+/// minus resident weights minus `activation_reserve` of HBM, divided by
+/// the bytes one block of KV occupies. Throws if the weights alone
+/// overflow the device.
+[[nodiscard]] index_t derive_kv_block_budget(const Engine& engine,
+                                             index_t block_size,
+                                             double activation_reserve = 0.1);
+
+}  // namespace marlin::serve::sched

@@ -1,0 +1,57 @@
+#include "serve/sched/request.hpp"
+
+#include "util/error.hpp"
+
+namespace marlin::serve::sched {
+
+const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kPrefilling:
+      return "prefilling";
+    case RequestState::kRunning:
+      return "running";
+    case RequestState::kPreempted:
+      return "preempted";
+    case RequestState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+bool transition_allowed(RequestState from, RequestState to) {
+  switch (from) {
+    case RequestState::kQueued:
+      // Admission starts prefill; rejection finishes without running.
+      return to == RequestState::kPrefilling || to == RequestState::kFinished;
+    case RequestState::kPrefilling:
+      return to == RequestState::kRunning;
+    case RequestState::kRunning:
+      return to == RequestState::kPreempted || to == RequestState::kFinished;
+    case RequestState::kPreempted:
+      // Re-admission recomputes the KV from scratch.
+      return to == RequestState::kPrefilling;
+    case RequestState::kFinished:
+      return false;
+  }
+  return false;
+}
+
+Request::Request(index_t id_, double arrival_s_, index_t prompt_tokens_,
+                 index_t output_tokens_)
+    : id(id_), arrival_s(arrival_s_), prompt_tokens(prompt_tokens_),
+      output_tokens(output_tokens_) {
+  MARLIN_CHECK(prompt_tokens >= 1, "request needs at least one prompt token");
+  MARLIN_CHECK(output_tokens >= 1, "request needs at least one output token");
+}
+
+void Request::set_state(RequestState next) {
+  MARLIN_CHECK(transition_allowed(state, next),
+               "illegal request transition " << to_string(state) << " -> "
+                                             << to_string(next) << " (id "
+                                             << id << ")");
+  state = next;
+}
+
+}  // namespace marlin::serve::sched

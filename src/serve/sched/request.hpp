@@ -1,0 +1,76 @@
+#pragma once
+// Request lifecycle for the serving scheduler.
+//
+// A request moves through an explicit state machine:
+//
+//   kQueued ──admit──► kPrefilling ──prefill done──► kRunning ──► kFinished
+//      ▲                                               │
+//      └───────────────── kPreempted ◄──preempt────────┘
+//
+// Preemption is recompute-style (vLLM's default): the victim's KV blocks
+// are freed and, on re-admission, prefill covers the prompt *plus* every
+// token generated so far. TTFT is unaffected (the first token was already
+// emitted); TPOT absorbs the recompute cost.
+//
+// Every transition is validated — an illegal edge throws, so scheduler
+// bugs surface as errors instead of silently corrupted metrics.
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace marlin::serve::sched {
+
+enum class RequestState { kQueued, kPrefilling, kRunning, kPreempted,
+                          kFinished };
+
+const char* to_string(RequestState s);
+
+/// Is `from -> to` a legal lifecycle edge?
+bool transition_allowed(RequestState from, RequestState to);
+
+/// One client request (single sequence — no beam / parallel sampling yet).
+struct Request {
+  Request(index_t id, double arrival_s, index_t prompt_tokens,
+          index_t output_tokens);
+
+  index_t id = 0;
+  double arrival_s = 0;
+  index_t prompt_tokens = 0;
+  index_t output_tokens = 0;  // total output target incl. the prefill token
+
+  RequestState state = RequestState::kQueued;
+  /// Output tokens emitted so far (the prefill emits token 1).
+  index_t generated = 0;
+  /// Tokens prefilled in the current admission (chunked prefill cursor).
+  index_t prefilled = 0;
+  /// KV-cache block ids currently held (owned by the BlockManager).
+  std::vector<index_t> blocks;
+
+  double first_token_s = -1;
+  double finish_s = -1;
+  index_t preemptions = 0;
+  /// True when the request could never fit in the KV budget and was
+  /// refused outright (state kFinished, no tokens produced).
+  bool rejected = false;
+
+  /// Validated state transition; throws on an illegal edge.
+  void set_state(RequestState next);
+
+  /// Tokens the next prefill must cover: the prompt plus, after a
+  /// preemption, every already-generated token (recompute).
+  [[nodiscard]] index_t prefill_target() const {
+    return prompt_tokens + generated;
+  }
+  /// Tokens of KV the request holds at completion — its peak footprint.
+  /// The final output token is emitted without growing the cache (its KV
+  /// is never written), hence the -1.
+  [[nodiscard]] index_t max_kv_tokens() const {
+    return prompt_tokens + output_tokens - 1;
+  }
+  [[nodiscard]] bool finished() const {
+    return state == RequestState::kFinished;
+  }
+};
+
+}  // namespace marlin::serve::sched

@@ -1,0 +1,274 @@
+#include "serve/sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace marlin::serve::sched {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFcfs:
+      return "fcfs";
+    case SchedPolicy::kShortestJob:
+      return "sjf";
+    case SchedPolicy::kMaxUtilization:
+      return "max-util";
+  }
+  return "?";
+}
+
+SchedPolicy policy_by_name(const std::string& name) {
+  for (const auto p : {SchedPolicy::kFcfs, SchedPolicy::kShortestJob,
+                       SchedPolicy::kMaxUtilization}) {
+    if (name == to_string(p)) return p;
+  }
+  MARLIN_CHECK(false, "unknown scheduling policy `"
+                          << name << "`; known: fcfs, sjf, max-util");
+  return SchedPolicy::kFcfs;  // unreachable
+}
+
+namespace {
+
+/// Admission priority key; smaller admits first. FCFS keeps queue order.
+index_t policy_key(SchedPolicy policy, const Request& r) {
+  switch (policy) {
+    case SchedPolicy::kFcfs:
+      return 0;
+    case SchedPolicy::kShortestJob:
+      // Remaining service: prefill work plus the decode tokens still owed.
+      return r.prefill_target() + (r.output_tokens - r.generated);
+    case SchedPolicy::kMaxUtilization:
+      // Smallest *lifetime* KV footprint packs the most sequences into
+      // the budget; the admission scan skips over requests whose prefill
+      // doesn't fit right now (e.g. a recompute-heavy preempted head).
+      return r.max_kv_tokens();
+  }
+  return 0;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const Engine& engine, SchedulerConfig cfg)
+    : engine_(engine), cfg_(cfg) {
+  MARLIN_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
+  MARLIN_CHECK(cfg_.prefill_chunk_tokens >= 0, "negative prefill chunk");
+}
+
+SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
+                          const SimContext& ctx) const {
+  SchedStats stats;
+  BlockManager bm(cfg_.blocks);
+
+  std::vector<Request>& requests = stats.requests;
+  requests.reserve(trace.size());
+  index_t max_context = 1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    requests.emplace_back(static_cast<index_t>(i), trace[i].arrival_s,
+                          trace[i].input_tokens, trace[i].output_tokens);
+    max_context =
+        std::max(max_context, trace[i].input_tokens + trace[i].output_tokens);
+  }
+  engine_.warm_decode_cache(ctx, cfg_.max_batch,
+                            static_cast<double>(max_context));
+
+  std::deque<std::size_t> queue;
+  std::vector<std::size_t> prefilling;  // admission order, this flight
+  std::vector<std::size_t> running;     // admission order
+  std::size_t next_arrival = 0;
+
+  double now = 0.0;
+  double batch_weighted = 0.0;
+  double decode_time_total = 0.0;
+
+  const auto admit_arrivals = [&](double upto) {
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival_s <= upto) {
+      queue.push_back(next_arrival);
+      ++next_arrival;
+    }
+  };
+  const auto active = [&] { return prefilling.size() + running.size(); };
+
+  // A request that can never hold prompt + output tokens under the budget
+  // (keeping the watermark free for its admission) would starve the queue
+  // forever; refuse it outright.
+  const auto never_fits = [&](const Request& r) {
+    return !bm.unlimited() &&
+           bm.blocks_for_tokens(r.max_kv_tokens()) + bm.watermark_blocks() >
+               bm.total_blocks();
+  };
+
+  const auto preempt_last_running = [&] {
+    const std::size_t victim = running.back();
+    running.pop_back();
+    Request& v = requests[victim];
+    v.set_state(RequestState::kPreempted);
+    bm.free(v.blocks);
+    v.prefilled = 0;
+    ++v.preemptions;
+    ++stats.preemptions;
+    queue.push_front(victim);
+  };
+
+  while (next_arrival < requests.size() || !queue.empty() ||
+         !prefilling.empty() || !running.empty()) {
+    admit_arrivals(now);
+
+    if (queue.empty() && prefilling.empty() && running.empty()) {
+      // Idle: jump to the next arrival.
+      now = requests[next_arrival].arrival_s;
+      admit_arrivals(now);
+    }
+
+    // Admission in policy order, bounded by batch cap and KV watermark.
+    if (!queue.empty() && active() < static_cast<std::size_t>(cfg_.max_batch)) {
+      std::vector<std::size_t> order(queue.begin(), queue.end());
+      if (cfg_.policy != SchedPolicy::kFcfs) {
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return policy_key(cfg_.policy, requests[a]) <
+                                  policy_key(cfg_.policy, requests[b]);
+                         });
+      }
+      std::vector<bool> taken(requests.size(), false);
+      for (const std::size_t id : order) {
+        if (active() >= static_cast<std::size_t>(cfg_.max_batch)) break;
+        Request& r = requests[id];
+        if (never_fits(r)) {
+          r.rejected = true;
+          r.set_state(RequestState::kFinished);
+          ++stats.rejected;
+          taken[id] = true;
+          continue;
+        }
+        if (!bm.can_admit(r.prefill_target())) {
+          // FCFS and SJF respect head-of-line order; max-util keeps
+          // scanning for anything that still fits.
+          if (cfg_.policy == SchedPolicy::kMaxUtilization) continue;
+          break;
+        }
+        r.blocks = bm.allocate(bm.blocks_for_tokens(r.prefill_target()));
+        r.set_state(RequestState::kPrefilling);
+        r.prefilled = 0;
+        prefilling.push_back(id);
+        taken[id] = true;
+      }
+      std::erase_if(queue, [&](std::size_t id) { return taken[id]; });
+    }
+
+    // One prefill chunk round over the whole prefill flight.
+    if (!prefilling.empty()) {
+      double total_new = 0.0;
+      for (const std::size_t id : prefilling) {
+        const Request& r = requests[id];
+        index_t chunk = r.prefill_target() - r.prefilled;
+        if (cfg_.prefill_chunk_tokens > 0) {
+          chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
+        }
+        total_new += static_cast<double>(chunk);
+      }
+      const auto count = static_cast<index_t>(prefilling.size());
+      // Mean new tokens per sequence prices the chunk; with a uniform
+      // flight (the goldens path) this is exactly each sequence's prompt.
+      const auto tokens_per_seq = static_cast<index_t>(
+          std::llround(total_new / static_cast<double>(count)));
+      now += engine_.prefill_seconds(count, std::max<index_t>(1,
+                                                              tokens_per_seq));
+      ++stats.prefill_steps;
+
+      std::vector<std::size_t> still_prefilling;
+      for (const std::size_t id : prefilling) {
+        Request& r = requests[id];
+        index_t chunk = r.prefill_target() - r.prefilled;
+        if (cfg_.prefill_chunk_tokens > 0) {
+          chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
+        }
+        r.prefilled += chunk;
+        if (r.prefilled < r.prefill_target()) {
+          still_prefilling.push_back(id);
+          continue;
+        }
+        r.set_state(RequestState::kRunning);
+        if (r.first_token_s < 0) r.first_token_s = now;  // prefill emits #1
+        r.generated = std::max<index_t>(r.generated, 1);
+        running.push_back(id);
+      }
+      prefilling = std::move(still_prefilling);
+      continue;  // re-check arrivals before the next engine step
+    }
+
+    if (running.empty()) continue;
+
+    // Grow every running sequence's KV for the token this step writes;
+    // preempt from the back (lowest priority) when the budget runs dry.
+    for (std::size_t i = 0; i < running.size();) {
+      Request& r = requests[running[i]];
+      bool preempted_self = false;
+      while (!bm.grow_to(r.blocks, r.prompt_tokens + r.generated)) {
+        MARLIN_ASSERT(!running.empty());
+        preempted_self = running.back() == running[i];
+        preempt_last_running();
+        if (preempted_self) break;
+      }
+      if (!preempted_self) ++i;
+    }
+    if (running.empty()) continue;
+
+    // One decode step for all running sequences.
+    double ctx_sum = 0.0;
+    for (const std::size_t id : running) {
+      ctx_sum += static_cast<double>(requests[id].prompt_tokens) +
+                 static_cast<double>(requests[id].generated);
+    }
+    const auto batch = static_cast<index_t>(running.size());
+    const double t_step = engine_.decode_step_seconds(
+        batch, ctx_sum / static_cast<double>(batch));
+    now += t_step;
+    batch_weighted += static_cast<double>(batch) * t_step;
+    decode_time_total += t_step;
+    ++stats.decode_steps;
+
+    std::vector<std::size_t> still_running;
+    for (const std::size_t id : running) {
+      Request& r = requests[id];
+      ++r.generated;
+      if (r.generated >= r.output_tokens) {
+        r.finish_s = now;
+        r.set_state(RequestState::kFinished);
+        bm.free(r.blocks);
+      } else {
+        still_running.push_back(id);
+      }
+    }
+    running = std::move(still_running);
+  }
+
+  ServingMetrics& m = stats.metrics;
+  std::vector<double> tpots, ttfts;
+  for (const Request& r : requests) {
+    if (r.finish_s < 0) continue;
+    ++m.completed;
+    ttfts.push_back((r.first_token_s - r.arrival_s) * 1e3);
+    tpots.push_back((r.finish_s - r.first_token_s) /
+                    static_cast<double>(std::max<index_t>(
+                        1, r.output_tokens - 1)) *
+                    1e3);
+  }
+  if (!tpots.empty()) {
+    m.mean_tpot_ms = mean(tpots);
+    m.mean_ttft_ms = mean(ttfts);
+    m.p90_tpot_ms = percentile(tpots, 90.0);
+    m.p90_ttft_ms = percentile(ttfts, 90.0);
+  }
+  m.mean_batch =
+      decode_time_total > 0 ? batch_weighted / decode_time_total : 0.0;
+  stats.peak_kv_blocks = bm.peak_used_blocks();
+  stats.sim_end_s = now;
+  return stats;
+}
+
+}  // namespace marlin::serve::sched

@@ -1,0 +1,102 @@
+#pragma once
+// Continuous-batching scheduler over the engine cost model.
+//
+// A discrete-event clock advances through engine steps (prefill chunks
+// and decode steps). Each scheduling round:
+//
+//   1. arrivals up to `now` join the wait queue;
+//   2. queued requests are admitted in policy order while the batch cap
+//      and the KV watermark allow, allocating their prefill blocks;
+//   3. if any request is prefilling, one chunked-prefill step runs (the
+//      whole remaining prompt when `prefill_chunk_tokens` is 0) — newly
+//      arrived requests can join the prefill flight between chunks;
+//   4. otherwise one decode step advances every running sequence by one
+//      token. Before the step each sequence's KV is grown into fresh
+//      blocks; when the budget is exhausted the *last-admitted* running
+//      sequence is preempted (blocks freed, recompute on re-admission,
+//      re-queued at the front).
+//
+// Under FCFS, an unlimited block budget and unchunked prefill this
+// reduces — engine call for engine call, floating-point add for add — to
+// the original `simulate_serving` loop, which the fig15/fig16 goldens
+// pin down.
+//
+// The event loop itself is strictly serial (its results are part of the
+// bit-identical-across-threads contract); parallelism comes from warming
+// the engine's decode memo on the SimContext pool before the loop runs.
+
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/sched/block_manager.hpp"
+#include "serve/sched/request.hpp"
+#include "serve/sched/workload.hpp"
+#include "util/sim_context.hpp"
+
+namespace marlin::serve {
+
+/// Aggregate latency metrics of one serving simulation. Field set and
+/// semantics predate the scheduler subsystem — golden tables and the
+/// `simulate_serving` API depend on them.
+struct ServingMetrics {
+  double mean_tpot_ms = 0;  // time per output token (after the first)
+  double mean_ttft_ms = 0;  // time to first token
+  double p90_tpot_ms = 0;
+  double p90_ttft_ms = 0;
+  double mean_batch = 0;  // average decode batch the engine observed
+  index_t completed = 0;
+};
+
+namespace sched {
+
+enum class SchedPolicy {
+  kFcfs,            // arrival order; preempted requests re-queue in front
+  kShortestJob,     // least remaining work (prompt + remaining output) first
+  kMaxUtilization,  // smallest lifetime KV footprint first, skipping
+                    // non-fitting requests so admission packs the budget
+};
+
+const char* to_string(SchedPolicy p);
+/// Parses "fcfs" / "sjf" / "max-util"; throws on anything else.
+SchedPolicy policy_by_name(const std::string& name);
+
+struct SchedulerConfig {
+  SchedPolicy policy = SchedPolicy::kFcfs;
+  index_t max_batch = 128;
+  /// Per-sequence prefill chunk in tokens; 0 = whole prompt in one step.
+  index_t prefill_chunk_tokens = 0;
+  BlockManagerConfig blocks;  // num_blocks == 0 keeps the KV unlimited
+};
+
+/// Everything one simulation produced: the golden-stable metrics plus
+/// scheduler-level counters and the final per-request states (trace
+/// order) for policy-behaviour assertions.
+struct SchedStats {
+  ServingMetrics metrics;
+  index_t preemptions = 0;
+  index_t rejected = 0;  // could never fit in the KV budget
+  index_t prefill_steps = 0;
+  index_t decode_steps = 0;
+  index_t peak_kv_blocks = 0;
+  double sim_end_s = 0;
+  std::vector<Request> requests;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const Engine& engine, SchedulerConfig cfg);
+
+  /// Runs the trace to completion. `ctx` only pre-warms the engine's
+  /// decode memo (per-GPU step-model evaluation on the shared pool); the
+  /// stats are bit-identical for every context.
+  [[nodiscard]] SchedStats run(
+      const std::vector<TraceRequest>& trace,
+      const SimContext& ctx = SimContext::serial_context()) const;
+
+ private:
+  const Engine& engine_;
+  SchedulerConfig cfg_;
+};
+
+}  // namespace sched
+}  // namespace marlin::serve

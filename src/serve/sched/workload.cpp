@@ -1,0 +1,115 @@
+#include "serve/sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace marlin::serve::sched {
+
+const char* to_string(WorkloadShape s) {
+  switch (s) {
+    case WorkloadShape::kPoisson:
+      return "poisson";
+    case WorkloadShape::kBursty:
+      return "bursty";
+    case WorkloadShape::kShareGpt:
+      return "sharegpt";
+  }
+  return "?";
+}
+
+WorkloadShape workload_by_name(const std::string& name) {
+  for (const auto s : {WorkloadShape::kPoisson, WorkloadShape::kBursty,
+                       WorkloadShape::kShareGpt}) {
+    if (name == to_string(s)) return s;
+  }
+  MARLIN_CHECK(false, "unknown workload `" << name
+                                           << "`; known: poisson, bursty, "
+                                              "sharegpt");
+  return WorkloadShape::kPoisson;  // unreachable
+}
+
+namespace {
+
+/// Log-normal token length with median `median`, clamped to [lo, hi].
+index_t lognormal_tokens(Rng& rng, index_t median, double sigma, index_t lo,
+                         index_t hi) {
+  const double x =
+      static_cast<double>(median) * std::exp(sigma * rng.normal());
+  const auto t = static_cast<index_t>(std::llround(x));
+  return std::clamp(t, lo, hi);
+}
+
+std::vector<TraceRequest> poisson_trace(const WorkloadConfig& cfg, Rng& rng,
+                                        bool lognormal_lengths) {
+  // NOTE: for fixed lengths this draw sequence is the exact arrival
+  // process of the pre-subsystem `simulate_serving`, which the fig15/16
+  // goldens pin down — lengths (when log-normal) are drawn *after* each
+  // arrival so the arrival times themselves stay on the same stream.
+  std::vector<TraceRequest> trace;
+  double t = 0.0;
+  while (t < cfg.duration_s) {
+    t += rng.exponential(cfg.qps);
+    if (t >= cfg.duration_s) break;
+    TraceRequest r;
+    r.arrival_s = t;
+    if (lognormal_lengths) {
+      r.input_tokens = lognormal_tokens(rng, cfg.input_tokens,
+                                        cfg.length_sigma, cfg.min_tokens,
+                                        cfg.max_input_tokens);
+      r.output_tokens = lognormal_tokens(rng, cfg.output_tokens,
+                                         cfg.length_sigma, cfg.min_tokens,
+                                         cfg.max_output_tokens);
+    } else {
+      r.input_tokens = cfg.input_tokens;
+      r.output_tokens = cfg.output_tokens;
+    }
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+std::vector<TraceRequest> bursty_trace(const WorkloadConfig& cfg, Rng& rng) {
+  // Interrupted Poisson: exponential ON windows at rate qps * (on+off)/on
+  // separated by exponential OFF gaps, so the long-run mean rate is qps.
+  const double cycle = cfg.burst_on_s + cfg.burst_off_s;
+  const double on_rate = cfg.qps * cycle / cfg.burst_on_s;
+  std::vector<TraceRequest> trace;
+  double window_start = 0.0;
+  while (window_start < cfg.duration_s) {
+    const double on_len = rng.exponential(1.0 / cfg.burst_on_s);
+    const double window_end =
+        std::min(window_start + on_len, cfg.duration_s);
+    double t = window_start;
+    while (true) {
+      t += rng.exponential(on_rate);
+      if (t >= window_end) break;
+      trace.push_back({t, cfg.input_tokens, cfg.output_tokens});
+    }
+    window_start = window_end + rng.exponential(1.0 / cfg.burst_off_s);
+  }
+  return trace;
+}
+
+}  // namespace
+
+std::vector<TraceRequest> generate_trace(const WorkloadConfig& cfg) {
+  MARLIN_CHECK(cfg.qps > 0, "QPS must be positive");
+  MARLIN_CHECK(cfg.duration_s > 0, "duration must be positive");
+  MARLIN_CHECK(cfg.input_tokens >= 1 && cfg.output_tokens >= 1,
+               "token counts must be >= 1");
+  Rng rng(cfg.seed);
+  switch (cfg.shape) {
+    case WorkloadShape::kPoisson:
+      return poisson_trace(cfg, rng, /*lognormal_lengths=*/false);
+    case WorkloadShape::kShareGpt:
+      return poisson_trace(cfg, rng, /*lognormal_lengths=*/true);
+    case WorkloadShape::kBursty:
+      return bursty_trace(cfg, rng);
+  }
+  return {};
+}
+
+}  // namespace marlin::serve::sched

@@ -1,0 +1,62 @@
+#pragma once
+// Trace-driven workload generation for the serving scheduler.
+//
+// Three arrival/length shapes, all drawn from one fixed-seed Rng so a
+// trace is reproducible bit-for-bit across runs, platforms and thread
+// counts (`--seed` on the serving benches plumbs straight into `seed`):
+//
+//   * kPoisson  — memoryless arrivals at `qps`, fixed prompt/output
+//     lengths. Draw-for-draw identical to the pre-subsystem simulator's
+//     arrival process, which keeps the fig15/fig16 goldens stable.
+//   * kBursty   — on/off (interrupted-Poisson) arrivals: exponential ON
+//     windows at an elevated rate separated by exponential OFF gaps, same
+//     mean rate overall. Stresses admission and preemption.
+//   * kShareGpt — Poisson arrivals with log-normal prompt and output
+//     lengths (median = configured tokens), the standard stand-in for the
+//     heavy-tailed ShareGPT conversation distribution.
+
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace marlin::serve::sched {
+
+enum class WorkloadShape { kPoisson, kBursty, kShareGpt };
+
+const char* to_string(WorkloadShape s);
+/// Parses "poisson" / "bursty" / "sharegpt" (case-sensitive); throws on
+/// anything else, listing the known names.
+WorkloadShape workload_by_name(const std::string& name);
+
+struct TraceRequest {
+  double arrival_s = 0;
+  index_t input_tokens = 0;
+  index_t output_tokens = 0;
+};
+
+struct WorkloadConfig {
+  WorkloadShape shape = WorkloadShape::kPoisson;
+  double qps = 1.0;        // mean arrival rate over the whole trace
+  double duration_s = 120.0;
+  index_t input_tokens = 64;   // fixed length; log-normal median for ShareGPT
+  index_t output_tokens = 64;
+  std::uint64_t seed = 42;
+
+  // kBursty: mean window lengths; the ON rate is scaled so the mean rate
+  // over ON+OFF stays `qps`.
+  double burst_on_s = 4.0;
+  double burst_off_s = 12.0;
+
+  // kShareGpt: log-normal sigma (in log-token space) and length clamps.
+  double length_sigma = 0.8;
+  index_t min_tokens = 4;
+  index_t max_input_tokens = 2048;
+  index_t max_output_tokens = 1024;
+};
+
+/// Arrival-ordered trace for the configured shape; empty if the rate and
+/// duration produce no arrivals.
+std::vector<TraceRequest> generate_trace(const WorkloadConfig& cfg);
+
+}  // namespace marlin::serve::sched

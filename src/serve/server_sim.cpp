@@ -1,133 +1,32 @@
 #include "serve/server_sim.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <vector>
-
-#include "util/rng.hpp"
-#include "util/stats.hpp"
-
 namespace marlin::serve {
 
-namespace {
+sched::SchedStats simulate_serving_detailed(const Engine& engine,
+                                            const ServingConfig& cfg,
+                                            const SimContext& ctx) {
+  sched::WorkloadConfig w;
+  w.shape = cfg.shape;
+  w.qps = cfg.qps;
+  w.duration_s = cfg.duration_s;
+  w.input_tokens = cfg.input_tokens;
+  w.output_tokens = cfg.output_tokens;
+  w.seed = cfg.seed;
 
-struct Request {
-  double arrival_s = 0;
-  double first_token_s = -1;
-  index_t generated = 0;
-  double finish_s = -1;
-};
+  sched::SchedulerConfig sc;
+  sc.policy = cfg.policy;
+  sc.max_batch = cfg.max_batch;
+  sc.prefill_chunk_tokens = cfg.prefill_chunk_tokens;
+  sc.blocks.block_size = cfg.kv_block_size;
+  sc.blocks.num_blocks = cfg.kv_blocks;
 
-}  // namespace
+  const sched::Scheduler scheduler(engine, sc);
+  return scheduler.run(sched::generate_trace(w), ctx);
+}
 
 ServingMetrics simulate_serving(const Engine& engine,
                                 const ServingConfig& cfg) {
-  MARLIN_CHECK(cfg.qps > 0, "QPS must be positive");
-  Rng rng(cfg.seed);
-
-  // Pre-draw the arrival process.
-  std::vector<Request> requests;
-  double t = 0.0;
-  while (t < cfg.duration_s) {
-    t += rng.exponential(cfg.qps);
-    if (t >= cfg.duration_s) break;
-    Request r;
-    r.arrival_s = t;
-    requests.push_back(r);
-  }
-
-  std::deque<std::size_t> waiting;
-  std::vector<std::size_t> running;
-  std::size_t next_arrival = 0;
-
-  double now = 0.0;
-  double batch_weighted = 0.0;
-  double decode_time_total = 0.0;
-
-  auto admit_arrivals = [&](double upto) {
-    while (next_arrival < requests.size() &&
-           requests[next_arrival].arrival_s <= upto) {
-      waiting.push_back(next_arrival);
-      ++next_arrival;
-    }
-  };
-
-  while (next_arrival < requests.size() || !waiting.empty() ||
-         !running.empty()) {
-    admit_arrivals(now);
-
-    if (waiting.empty() && running.empty()) {
-      // Idle: jump to the next arrival.
-      now = requests[next_arrival].arrival_s;
-      admit_arrivals(now);
-    }
-
-    // Admit and prefill new requests as one batch (chunked to capacity).
-    if (!waiting.empty() &&
-        running.size() < static_cast<std::size_t>(cfg.max_batch)) {
-      std::vector<std::size_t> admitted;
-      while (!waiting.empty() &&
-             running.size() + admitted.size() <
-                 static_cast<std::size_t>(cfg.max_batch)) {
-        admitted.push_back(waiting.front());
-        waiting.pop_front();
-      }
-      const double t_prefill = engine.prefill_seconds(
-          static_cast<index_t>(admitted.size()), cfg.input_tokens);
-      now += t_prefill;
-      for (const std::size_t id : admitted) {
-        requests[id].first_token_s = now;  // prefill emits token 1
-        requests[id].generated = 1;
-        running.push_back(id);
-      }
-      continue;  // re-check arrivals before the next decode step
-    }
-
-    if (running.empty()) continue;
-
-    // One decode step for all running sequences.
-    double ctx_sum = 0.0;
-    for (const std::size_t id : running) {
-      ctx_sum += static_cast<double>(cfg.input_tokens) +
-                 static_cast<double>(requests[id].generated);
-    }
-    const index_t batch = static_cast<index_t>(running.size());
-    const double t_step = engine.decode_step_seconds(
-        batch, ctx_sum / static_cast<double>(batch));
-    now += t_step;
-    batch_weighted += static_cast<double>(batch) * t_step;
-    decode_time_total += t_step;
-
-    std::vector<std::size_t> still_running;
-    for (const std::size_t id : running) {
-      ++requests[id].generated;
-      if (requests[id].generated >= cfg.output_tokens) {
-        requests[id].finish_s = now;
-      } else {
-        still_running.push_back(id);
-      }
-    }
-    running = std::move(still_running);
-  }
-
-  ServingMetrics m;
-  std::vector<double> tpots, ttfts;
-  for (const Request& r : requests) {
-    if (r.finish_s < 0) continue;
-    ++m.completed;
-    ttfts.push_back((r.first_token_s - r.arrival_s) * 1e3);
-    tpots.push_back((r.finish_s - r.first_token_s) /
-                    static_cast<double>(cfg.output_tokens - 1) * 1e3);
-  }
-  if (!tpots.empty()) {
-    m.mean_tpot_ms = mean(tpots);
-    m.mean_ttft_ms = mean(ttfts);
-    m.p90_tpot_ms = percentile(tpots, 90.0);
-    m.p90_ttft_ms = percentile(ttfts, 90.0);
-  }
-  m.mean_batch =
-      decode_time_total > 0 ? batch_weighted / decode_time_total : 0.0;
-  return m;
+  return simulate_serving_detailed(engine, cfg).metrics;
 }
 
 }  // namespace marlin::serve

@@ -1,14 +1,16 @@
 #pragma once
-// Discrete-event serving simulator (paper Figures 15/16): Poisson client
-// arrivals at a given QPS, continuous batching, TPOT and TTFT metrics.
+// Serving simulation entry point (paper Figures 15/16) — a thin adapter
+// over the request-level scheduler subsystem in serve/sched/.
 //
-// Scheduling follows vLLM's continuous batching: newly arrived requests
-// are admitted (up to max_batch) and prefilled as a batch; all running
-// requests then advance one token per engine step. Because MARLIN's steps
-// are faster, the *average batch size the engine observes is smaller* at
-// equal QPS — the mechanism the paper gives for speedups growing with QPS.
+// `simulate_serving` turns a ServingConfig into a workload trace plus a
+// scheduler configuration and runs the continuous-batching scheduler.
+// The defaults (Poisson arrivals, FCFS, unlimited KV blocks, unchunked
+// prefill) reproduce the pre-subsystem simulator bit-for-bit — the
+// fig15/fig16 golden tables hold — while the extra knobs open the
+// scheduler's policy, workload and KV-budget space to the benches.
 
 #include "serve/engine.hpp"
+#include "serve/sched/scheduler.hpp"
 
 namespace marlin::serve {
 
@@ -19,16 +21,26 @@ struct ServingConfig {
   index_t output_tokens = 64;
   index_t max_batch = 128;
   std::uint64_t seed = 42;
+
+  /// Arrival/length shape (fixed lengths for kPoisson/kBursty; log-normal
+  /// around the configured tokens for kShareGpt).
+  sched::WorkloadShape shape = sched::WorkloadShape::kPoisson;
+  /// Admission policy; FCFS matches the pre-subsystem behaviour.
+  sched::SchedPolicy policy = sched::SchedPolicy::kFcfs;
+  /// KV-cache block budget; 0 = unlimited (the goldens configuration).
+  /// Use `sched::derive_kv_block_budget` for a device-derived budget.
+  index_t kv_blocks = 0;
+  index_t kv_block_size = 16;
+  /// Per-sequence prefill chunk tokens; 0 = whole prompt per step.
+  index_t prefill_chunk_tokens = 0;
 };
 
-struct ServingMetrics {
-  double mean_tpot_ms = 0;  // time per output token (after the first)
-  double mean_ttft_ms = 0;  // time to first token
-  double p90_tpot_ms = 0;
-  double p90_ttft_ms = 0;
-  double mean_batch = 0;  // average decode batch the engine observed
-  index_t completed = 0;
-};
+/// Full scheduler statistics (metrics + preemptions, KV peak, per-request
+/// outcomes). `ctx` pre-warms the engine's decode memo on its pool; the
+/// results are bit-identical for every context.
+sched::SchedStats simulate_serving_detailed(
+    const Engine& engine, const ServingConfig& cfg,
+    const SimContext& ctx = SimContext::serial_context());
 
 ServingMetrics simulate_serving(const Engine& engine,
                                 const ServingConfig& cfg);

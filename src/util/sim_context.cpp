@@ -11,11 +11,7 @@ namespace marlin {
 SimContext::SimContext(unsigned n_threads)
     : n_threads_(resolve_threads(n_threads)) {}
 
-SimContext::SimContext(ThreadPool& external)
-    : n_threads_(external.size() + 1), external_(&external) {}
-
 ThreadPool* SimContext::pool() const {
-  if (external_ != nullptr) return external_;
   if (serial()) return nullptr;
   std::call_once(started_, [this] {
     owned_ = std::make_unique<ThreadPool>(n_threads_ - 1);

@@ -37,11 +37,6 @@ class SimContext {
   /// n_threads == 1 forces serial mode (no pool, inline execution).
   explicit SimContext(unsigned n_threads = 0);
 
-  /// Non-owning wrapper around an existing pool. Only the deprecated
-  /// ThreadPool* kernel entry points construct this; new code passes a
-  /// SimContext from the start.
-  explicit SimContext(ThreadPool& external);
-
   SimContext(const SimContext&) = delete;
   SimContext& operator=(const SimContext&) = delete;
 
@@ -75,7 +70,6 @@ class SimContext {
 
  private:
   unsigned n_threads_ = 1;
-  ThreadPool* external_ = nullptr;
   mutable std::unique_ptr<ThreadPool> owned_;
   mutable std::once_flag started_;
 };

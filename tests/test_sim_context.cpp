@@ -225,23 +225,5 @@ TEST(KernelDeterminism, NestedSweepMatchesSerial) {
   }
 }
 
-/// The deprecated ThreadPool* shims must keep working for one release.
-TEST(DeprecatedShims, RawPoolOverloadMatchesContext) {
-  const auto a = random_activations(4, 128, 95);
-  const auto q = random_qweights(128, 128, 64, 96);
-  const auto mw = layout::marlin_repack(q);
-  core::KernelConfig cfg;
-  const auto via_ctx = core::marlin_matmul(a.view(), mw, cfg, 8);
-  const SimContext ctx(3);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto via_null = core::marlin_matmul(a.view(), mw, cfg, 8,
-                                            static_cast<ThreadPool*>(nullptr));
-  const auto via_pool = core::marlin_matmul(a.view(), mw, cfg, 8, ctx.pool());
-#pragma GCC diagnostic pop
-  expect_bit_identical(via_ctx, via_null);
-  expect_bit_identical(via_ctx, via_pool);
-}
-
 }  // namespace
 }  // namespace marlin
