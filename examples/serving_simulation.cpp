@@ -6,11 +6,17 @@
 // table deterministic).
 //
 //   $ ./serving_simulation --model llama-2-7b --device rtxa6000 --qps 5
-//   $ ./serving_simulation --model llama-2-70b --device a100 --gpus 4
+//   $ ./serving_simulation --model llama-2-70b --device a100 --tp 4 --pp 2
 //   $ ./serving_simulation --workload sharegpt --policy sjf --kv-blocks 256
+//
+// `--tp/--pp/--microbatches` shard the model across a tensor/pipeline-
+// parallel rank grid (per-rank workers, interconnect-priced all-reduce and
+// activation send/recv); `--gpus` is the legacy single-model weight split
+// and cannot be combined with them.
 
 #include <iostream>
 
+#include "serve/parallel/parallel_engine.hpp"
 #include "serve/server_sim.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -35,16 +41,28 @@ int main(int argc, char** argv) {
   scfg.shape = sched::workload_by_name(args.get_string("workload", "poisson"));
   scfg.policy = sched::policy_by_name(args.get_string("policy", "fcfs"));
   // --kv-blocks: -1 derives the budget from the device HBM next to the
-  // weights; 0 keeps it unlimited; any positive count is used as-is.
-  const index_t kv_flag = args.get_int("kv-blocks", 0);
+  // weights (per-rank aware under --tp/--pp); 0 keeps it unlimited; any
+  // positive count is used as-is.
+  scfg.kv_blocks = args.get_int("kv-blocks", 0);
   scfg.kv_block_size = args.get_int("kv-block-size", 16);
   scfg.prefill_chunk_tokens = args.get_int("prefill-chunk", 0);
+  scfg.parallel.tensor_parallel = static_cast<int>(args.get_int("tp", 1));
+  scfg.parallel.pipeline_parallel = static_cast<int>(args.get_int("pp", 1));
+  scfg.parallel.microbatches =
+      static_cast<int>(args.get_int("microbatches", 0));
+  scfg.parallel.validate();
 
-  std::cout << ecfg.model.name << " on " << ecfg.num_gpus << "x "
-            << ecfg.gpu.name << ", " << scfg.qps << " QPS "
-            << sched::to_string(scfg.shape) << ", " << scfg.input_tokens
-            << " in / " << scfg.output_tokens << " out, policy "
-            << sched::to_string(scfg.policy) << "\n\n";
+  const int world = scfg.parallel.world_size();
+  std::cout << ecfg.model.name << " on "
+            << (scfg.parallel.trivial() ? ecfg.num_gpus : world) << "x "
+            << ecfg.gpu.name;
+  if (!scfg.parallel.trivial()) {
+    std::cout << " (" << scfg.parallel.to_string() << ", "
+              << ecfg.gpu.interconnect_name << ")";
+  }
+  std::cout << ", " << scfg.qps << " QPS " << sched::to_string(scfg.shape)
+            << ", " << scfg.input_tokens << " in / " << scfg.output_tokens
+            << " out, policy " << sched::to_string(scfg.policy) << "\n\n";
 
   const std::vector<serve::WeightFormat> formats{
       serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,
@@ -55,14 +73,16 @@ int main(int argc, char** argv) {
                      auto cfg = ecfg;
                      cfg.format = formats[static_cast<std::size_t>(i)];
                      const serve::Engine engine(cfg);
-                     auto sc = scfg;
-                     sc.kv_blocks =
-                         kv_flag < 0 ? sched::derive_kv_block_budget(
-                                           engine, sc.kv_block_size)
-                                     : kv_flag;
                      const auto st =
-                         serve::simulate_serving_detailed(engine, sc);
+                         serve::simulate_serving_detailed(engine, scfg);
                      const auto& m = st.metrics;
+                     double weights_per_gpu = engine.weight_bytes_per_gpu();
+                     if (!scfg.parallel.trivial()) {
+                       weights_per_gpu =
+                           serve::parallel::ParallelEngine(engine,
+                                                           scfg.parallel)
+                               .max_weight_shard_bytes();
+                     }
                      rows[static_cast<std::size_t>(i)] = {
                          serve::to_string(cfg.format),
                          format_double(m.mean_tpot_ms, 2),
@@ -72,7 +92,7 @@ int main(int argc, char** argv) {
                          format_double(m.mean_batch, 1),
                          std::to_string(m.completed),
                          std::to_string(st.preemptions),
-                         format_bytes(engine.weight_bytes_per_gpu())};
+                         format_bytes(weights_per_gpu)};
                    });
 
   Table table({"engine", "TPOT ms", "p90 TPOT", "TTFT ms", "p90 TTFT",

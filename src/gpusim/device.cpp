@@ -76,7 +76,8 @@ DeviceSpec a100_80g() {
   d.fp16_tc_tflops_boost = 312.0;
   d.fp32_fma_tflops_boost = 19.5;
   d.kernel_launch_s = 2.5e-6;
-  d.interconnect_bandwidth_gbs = 600.0;  // NVLink 3
+  d.interconnect_name = "NVLink 3";
+  d.interconnect_bandwidth_gbs = 600.0;
   d.interconnect_latency_s = 6e-6;
   return d;
 }
@@ -113,6 +114,7 @@ DeviceSpec rtxa6000() {
   d.fp16_tc_tflops_boost = 154.8;
   d.fp32_fma_tflops_boost = 38.7;
   d.kernel_launch_s = 2.5e-6;
+  d.interconnect_name = "NVLink bridge / PCIe 4.0";
   d.interconnect_bandwidth_gbs = 56.2;  // NVLink bridge pairs / PCIe mix
   return d;
 }

@@ -34,9 +34,15 @@ struct DeviceSpec {
   /// budget of the serving scheduler once weights are resident.
   double hbm_gb = 24.0;
   int warp_schedulers_per_sm = 4;
-  /// Per-GPU interconnect used for tensor-parallel all-reduce.
+  /// Per-GPU interconnect used for tensor-parallel all-reduce and
+  /// pipeline-parallel activation send/recv (NVLink or PCIe; bandwidth is
+  /// the per-GPU aggregate, latency is one hop).
+  std::string interconnect_name = "PCIe 4.0 x16";
   double interconnect_bandwidth_gbs = 32.0;  // PCIe 4.0 x16 default
   double interconnect_latency_s = 10e-6;
+  [[nodiscard]] double interconnect_bytes_per_s() const {
+    return interconnect_bandwidth_gbs * 1e9;
+  }
 
   [[nodiscard]] double clock_ratio(double clock_ghz) const {
     return clock_ghz / boost_clock_ghz;

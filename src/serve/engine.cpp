@@ -52,10 +52,12 @@ Engine::Engine(EngineConfig cfg)
   MARLIN_CHECK(cfg_.num_gpus >= 1, "need at least one GPU");
 }
 
-double Engine::linear_layers_seconds(index_t m) const {
+double Engine::block_linear_seconds(index_t m, int tp) const {
+  MARLIN_CHECK(tp >= 1, "tensor-parallel degree must be >= 1");
+  const auto key = std::make_pair(m, tp);
   {
     const std::lock_guard lock(cache_mutex_);
-    if (const auto it = linear_cache_.find(m); it != linear_cache_.end()) {
+    if (const auto it = block_cache_.find(key); it != block_cache_.end()) {
       return it->second;
     }
   }
@@ -66,19 +68,48 @@ double Engine::linear_layers_seconds(index_t m) const {
                          layers[i].name == "gate_up_proj" ||
                          layers[i].name == "up_proj";
     const core::MatmulProblem p =
-        shard(layers[i], m, cfg_.num_gpus, cfg_.group_size, split_n);
+        shard(layers[i], m, tp, cfg_.group_size, split_n);
     per_block += kernel_->estimate(p, cfg_.gpu, cfg_.clock).seconds;
   }
-  double total = per_block * static_cast<double>(cfg_.model.num_layers);
-  // LM head stays FP16 in all configurations (vLLM does not quantize it).
+  const std::lock_guard lock(cache_mutex_);
+  block_cache_[key] = per_block;
+  return per_block;
+}
+
+double Engine::lm_head_seconds(index_t m, int tp) const {
+  MARLIN_CHECK(tp >= 1, "tensor-parallel degree must be >= 1");
+  const auto key = std::make_pair(m, tp);
+  {
+    const std::lock_guard lock(cache_mutex_);
+    if (const auto it = head_cache_.find(key); it != head_cache_.end()) {
+      return it->second;
+    }
+  }
+  // The LM head stays FP16 in all configurations (vLLM does not quantize
+  // it); under tensor parallelism its vocab dimension is column-split.
   core::MatmulProblem head;
   head.m = m;
   head.k = cfg_.model.hidden;
-  head.n = std::max<index_t>(64, cfg_.model.vocab / cfg_.num_gpus);
+  head.n = std::max<index_t>(64, cfg_.model.vocab / tp);
   head.group_size = cfg_.group_size;
-  total += baselines::make_kernel_model("fp16")
-               ->estimate(head, cfg_.gpu, cfg_.clock)
-               .seconds;
+  const double t = baselines::make_kernel_model("fp16")
+                       ->estimate(head, cfg_.gpu, cfg_.clock)
+                       .seconds;
+  const std::lock_guard lock(cache_mutex_);
+  head_cache_[key] = t;
+  return t;
+}
+
+double Engine::linear_layers_seconds(index_t m) const {
+  {
+    const std::lock_guard lock(cache_mutex_);
+    if (const auto it = linear_cache_.find(m); it != linear_cache_.end()) {
+      return it->second;
+    }
+  }
+  double total = block_linear_seconds(m, cfg_.num_gpus) *
+                 static_cast<double>(cfg_.model.num_layers);
+  total += lm_head_seconds(m, cfg_.num_gpus);
   const std::lock_guard lock(cache_mutex_);
   linear_cache_[m] = total;
   return total;
@@ -89,6 +120,33 @@ double Engine::kv_bytes_per_token() const {
   return 2.0 * static_cast<double>(cfg_.model.num_layers) *
          static_cast<double>(cfg_.model.num_kv_heads) *
          static_cast<double>(cfg_.model.head_dim) * 2.0 / cfg_.num_gpus;
+}
+
+double Engine::attention_layer_seconds(index_t batch, double avg_context,
+                                       int tp) const {
+  MARLIN_CHECK(tp >= 1, "tensor-parallel degree must be >= 1");
+  // One layer's share of the paged-attention KV stream: K and V heads are
+  // sharded across the tensor-parallel group, plus the per-layer launch.
+  const double kv_bytes = 2.0 * static_cast<double>(cfg_.model.num_kv_heads) *
+                          static_cast<double>(cfg_.model.head_dim) * 2.0 / tp *
+                          avg_context * static_cast<double>(batch);
+  return kv_bytes /
+             (cfg_.gpu.gmem_bytes_per_s() * cfg_.attention_mem_efficiency) +
+         cfg_.gpu.kernel_launch_s;
+}
+
+double Engine::prefill_attention_layer_seconds(index_t m,
+                                               index_t prompt_tokens,
+                                               int tp) const {
+  MARLIN_CHECK(tp >= 1, "tensor-parallel degree must be >= 1");
+  // ~4 * tokens * ctx * q_heads * head_dim FLOPs per layer (scores +
+  // values), heads sharded across tp, at moderate tensor-core efficiency.
+  const double attn_flops =
+      4.0 * static_cast<double>(m) * static_cast<double>(prompt_tokens) *
+      static_cast<double>(cfg_.model.num_heads) *
+      static_cast<double>(cfg_.model.head_dim) / tp;
+  const double clock = cfg_.clock.effective_clock_ghz(cfg_.gpu, 0.0);
+  return attn_flops / (cfg_.gpu.tc_flops(clock) * 0.5);
 }
 
 double Engine::attention_decode_seconds(index_t batch,
@@ -107,6 +165,10 @@ double Engine::attention_decode_seconds(index_t batch,
 }
 
 double Engine::allreduce_seconds(index_t tokens) const {
+  // Legacy num_gpus pricing: one latency hop per all-reduce. The
+  // parallel::Interconnect model charges 2(g-1) hops per ring instead;
+  // this copy must keep its arithmetic as-is because the fig14/table2
+  // goldens pin it down bit-for-bit.
   if (cfg_.num_gpus <= 1) return 0.0;
   const double g = cfg_.num_gpus;
   const double bytes = static_cast<double>(tokens) *
@@ -168,13 +230,14 @@ void Engine::warm_decode_cache(const SimContext& ctx, index_t max_batch,
   });
 }
 
+double Engine::weight_bits() const {
+  return cfg_.format == WeightFormat::kFp16     ? 16.0
+         : cfg_.format == WeightFormat::kMarlin ? 4.125
+                                                : 3.125;
+}
+
 double Engine::weight_bytes_per_gpu() const {
-  const double params = cfg_.model.num_params();
-  const double bits = cfg_.format == WeightFormat::kFp16 ? 16.0
-                      : cfg_.format == WeightFormat::kMarlin
-                          ? 4.125
-                          : 3.125;
-  return params * bits / 8.0 / cfg_.num_gpus;
+  return cfg_.model.num_params() * weight_bits() / 8.0 / cfg_.num_gpus;
 }
 
 }  // namespace marlin::serve

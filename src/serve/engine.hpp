@@ -27,6 +27,30 @@ enum class WeightFormat { kFp16, kMarlin, kSparseMarlin };
 
 const char* to_string(WeightFormat f);
 
+/// Interface the serving scheduler prices engine steps against. `Engine`
+/// implements it for the single-device cost model; the multi-GPU
+/// `parallel::ParallelEngine` implements it as max-over-ranks compute plus
+/// interconnect communication. Implementations must be deterministic: the
+/// same (batch, context) query returns bit-identical seconds on every call
+/// and thread count.
+class StepModel {
+ public:
+  virtual ~StepModel() = default;
+
+  /// Seconds to advance every sequence of `batch` by one token.
+  [[nodiscard]] virtual double decode_step_seconds(index_t batch,
+                                                   double avg_context)
+      const = 0;
+  /// Seconds to prefill `batch` sequences of `prompt_tokens` tokens each.
+  [[nodiscard]] virtual double prefill_seconds(index_t batch,
+                                               index_t prompt_tokens)
+      const = 0;
+  /// Pre-fills the decode memo on the context's pool (purely a warm-up;
+  /// cached values must equal on-demand computation bit-for-bit).
+  virtual void warm_decode_cache(const SimContext& ctx, index_t max_batch,
+                                 double max_context) const = 0;
+};
+
 struct EngineConfig {
   ModelConfig model;
   gpusim::DeviceSpec gpu;
@@ -44,7 +68,7 @@ struct EngineConfig {
   double attention_mem_efficiency = 0.70;
 };
 
-class Engine {
+class Engine : public StepModel {
  public:
   explicit Engine(EngineConfig cfg);
 
@@ -54,11 +78,11 @@ class Engine {
   /// (values are deterministic, so duplicated computation of a missing
   /// entry is benign).
   [[nodiscard]] double decode_step_seconds(index_t batch,
-                                           double avg_context) const;
+                                           double avg_context) const override;
 
   /// Seconds to prefill `batch` sequences of `prompt_tokens` tokens each.
   [[nodiscard]] double prefill_seconds(index_t batch,
-                                       index_t prompt_tokens) const;
+                                       index_t prompt_tokens) const override;
 
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   /// Quantized+sharded weight bytes resident per GPU.
@@ -67,6 +91,28 @@ class Engine {
   /// every layer, sharded across the tensor-parallel group). The serving
   /// scheduler derives its block budget from this.
   [[nodiscard]] double kv_bytes_per_token() const;
+  /// Quantized weight bits per parameter of the configured format (16 for
+  /// FP16, 4.125 for MARLIN incl. group scales, 3.125 for Sparse-MARLIN).
+  [[nodiscard]] double weight_bits() const;
+
+  // Per-layer pricing — the building blocks the multi-GPU worker model
+  // composes into per-rank / per-stage times. All are memoised where a
+  // kernel-model estimate is involved and deterministic.
+
+  /// One transformer block's linear layers at M tokens, Megatron-sharded
+  /// across `tp` ranks (QKV & gate/up column-split, O & down row-split).
+  [[nodiscard]] double block_linear_seconds(index_t m, int tp) const;
+  /// The FP16 LM head with the vocab dimension column-split across `tp`.
+  [[nodiscard]] double lm_head_seconds(index_t m, int tp) const;
+  /// One layer of decode paged-attention (KV streaming + launch) for
+  /// `batch` sequences at `avg_context`, KV heads sharded across `tp`.
+  [[nodiscard]] double attention_layer_seconds(index_t batch,
+                                               double avg_context,
+                                               int tp) const;
+  /// One layer of quadratic prefill attention at `m` total new tokens
+  /// against `prompt_tokens` of context, heads sharded across `tp`.
+  [[nodiscard]] double prefill_attention_layer_seconds(
+      index_t m, index_t prompt_tokens, int tp) const;
 
   /// Pre-fills the decode memo for every batch in [1, max_batch] and the
   /// context buckets up to `max_context`, fanning the per-GPU step-model
@@ -75,7 +121,7 @@ class Engine {
   /// results are bit-identical whether or not (and on how many threads)
   /// this ran. A serial context skips the fan-out.
   void warm_decode_cache(const SimContext& ctx, index_t max_batch,
-                         double max_context) const;
+                         double max_context) const override;
 
  private:
   [[nodiscard]] double linear_layers_seconds(index_t m) const;
@@ -85,13 +131,15 @@ class Engine {
 
   EngineConfig cfg_;
   baselines::KernelModelPtr kernel_;
-  /// Guards both memo caches; held only around lookups/inserts, never
+  /// Guards every memo cache; held only around lookups/inserts, never
   /// across the kernel-model estimates, so the cache fills concurrently
   /// without lock nesting (linear_layers_seconds runs under no lock when
   /// decode_step_seconds computes a miss).
   mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<index_t, index_t>, double> decode_cache_;
   mutable std::map<index_t, double> linear_cache_;
+  mutable std::map<std::pair<index_t, int>, double> block_cache_;
+  mutable std::map<std::pair<index_t, int>, double> head_cache_;
 };
 
 }  // namespace marlin::serve

@@ -7,7 +7,7 @@
 
 namespace marlin::serve {
 
-double ModelConfig::num_params() const {
+double ModelConfig::params_per_block() const {
   const double h = static_cast<double>(hidden);
   const double kvh = static_cast<double>(num_kv_heads * head_dim);
   const double qh = static_cast<double>(num_heads * head_dim);
@@ -18,8 +18,13 @@ double ModelConfig::num_params() const {
   } else {
     per_block += 2.0 * h * static_cast<double>(intermediate);
   }
-  return per_block * static_cast<double>(num_layers) +
-         2.0 * h * static_cast<double>(vocab);  // embed + lm_head
+  return per_block;
+}
+
+double ModelConfig::num_params() const {
+  return params_per_block() * static_cast<double>(num_layers) +
+         2.0 * static_cast<double>(hidden) *
+             static_cast<double>(vocab);  // embed + lm_head
 }
 
 std::vector<LayerShape> block_linear_layers(const ModelConfig& m) {

@@ -24,6 +24,14 @@ struct ModelConfig {
 
   /// Total parameter count of the transformer blocks + embeddings.
   [[nodiscard]] double num_params() const;
+  /// Parameter count of ONE transformer block's linear layers — the unit
+  /// the pipeline-parallel worker model shards by layer range.
+  [[nodiscard]] double params_per_block() const;
+  /// Parameter count of the input-embedding table (the LM head is the
+  /// same shape); both stay FP16 in every serving configuration.
+  [[nodiscard]] double embedding_params() const {
+    return static_cast<double>(hidden) * static_cast<double>(vocab);
+  }
   /// FP16 weight bytes.
   [[nodiscard]] double fp16_bytes() const { return num_params() * 2.0; }
 };

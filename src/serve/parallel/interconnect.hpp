@@ -1,0 +1,33 @@
+#pragma once
+// Interconnect timing model for the multi-GPU serving simulator.
+//
+// Prices the two communication patterns the parallelism model needs on
+// the device's NVLink/PCIe link (`DeviceSpec::interconnect_*`):
+//
+//   * ring all-reduce across the tensor-parallel group — each rank moves
+//     2(g-1)/g of the payload over 2(g-1) latency-bound steps;
+//   * point-to-point activation send/recv across a pipeline-stage
+//     boundary — one serialized transfer plus one hop of latency.
+
+#include "gpusim/device.hpp"
+
+namespace marlin::serve::parallel {
+
+struct Interconnect {
+  double bytes_per_s = 0;
+  double latency_s = 0;
+
+  [[nodiscard]] static Interconnect of(const gpusim::DeviceSpec& d) {
+    return {d.interconnect_bytes_per_s(), d.interconnect_latency_s};
+  }
+
+  /// One point-to-point transfer of `bytes` (pipeline activation
+  /// send/recv across one stage boundary).
+  [[nodiscard]] double transfer_seconds(double bytes) const;
+
+  /// One ring all-reduce of `bytes` across `ranks` peers; free when the
+  /// group is a single rank.
+  [[nodiscard]] double allreduce_seconds(double bytes, int ranks) const;
+};
+
+}  // namespace marlin::serve::parallel

@@ -1,0 +1,29 @@
+#include "serve/parallel/parallel_config.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace marlin::serve::parallel {
+
+void ParallelConfig::validate() const {
+  MARLIN_CHECK(tensor_parallel >= 1,
+               "tensor-parallel degree must be >= 1, got " << tensor_parallel);
+  MARLIN_CHECK(pipeline_parallel >= 1,
+               "pipeline-parallel degree must be >= 1, got "
+                   << pipeline_parallel);
+  MARLIN_CHECK(microbatches >= 0,
+               "microbatch count must be >= 0 (0 = one per stage), got "
+                   << microbatches);
+}
+
+std::string ParallelConfig::to_string() const {
+  std::ostringstream os;
+  os << "tp" << tensor_parallel << " pp" << pipeline_parallel;
+  if (microbatches > 0 && microbatches != pipeline_parallel) {
+    os << " mb" << microbatches;
+  }
+  return os.str();
+}
+
+}  // namespace marlin::serve::parallel

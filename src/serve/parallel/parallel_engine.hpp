@@ -1,0 +1,94 @@
+#pragma once
+// Multi-GPU tensor/pipeline-parallel step model over the single-device
+// Engine cost model.
+//
+// A step is priced as the pipeline schedule of `microbatches` microbatches
+// over `pipeline_parallel` stages, each stage's per-microbatch time being
+// the max over its tensor-parallel ranks of (layer compute + two ring
+// all-reduces per block), plus the activation send/recv the last
+// microbatch pays on every stage boundary:
+//
+//   T_stage = max over ranks of (compute + tp all-reduce)   [per microbatch]
+//   step    = (microbatches + stages - 1) * T_stage_max
+//             + (stages - 1) * send(activation bytes)
+//             + engine step overhead (once, global)
+//
+// The fill/drain bubble fraction is (stages-1)/(microbatches+stages-1).
+//
+// The trivial config (TP=1, PP=1) delegates every query to the wrapped
+// Engine, so it reproduces the legacy single-device numbers — and the
+// fig15/fig16/serve_scheduler goldens — bit-for-bit. Non-trivial configs
+// require the Engine to be configured with num_gpus == 1: the
+// ParallelConfig owns all sharding (the legacy `num_gpus` weight split
+// must not compound with it).
+//
+// Deterministic and memoised like the Engine; safe to share across
+// concurrent sweep workers. `warm_decode_cache` fans the per-rank step
+// evaluation onto the SimContext pool with bit-identical results.
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/parallel/interconnect.hpp"
+#include "serve/parallel/worker.hpp"
+
+namespace marlin::serve::parallel {
+
+/// Where one decode step's latency goes, for benches and tests.
+struct StepBreakdown {
+  double total_s = 0;
+  /// Slowest stage's per-microbatch compute (max over ranks).
+  double stage_compute_s = 0;
+  /// That stage's tensor-parallel all-reduce share per microbatch.
+  double tp_comm_s = 0;
+  /// Activation send/recv the last microbatch pays across all boundaries.
+  double pp_send_s = 0;
+  int microbatches = 1;
+  /// Pipeline fill/drain bubble fraction, (pp-1)/(mb+pp-1).
+  double bubble_fraction = 0;
+};
+
+class ParallelEngine final : public StepModel {
+ public:
+  ParallelEngine(const Engine& engine, ParallelConfig cfg);
+
+  [[nodiscard]] double decode_step_seconds(index_t batch,
+                                           double avg_context) const override;
+  [[nodiscard]] double prefill_seconds(index_t batch,
+                                       index_t prompt_tokens) const override;
+  void warm_decode_cache(const SimContext& ctx, index_t max_batch,
+                         double max_context) const override;
+
+  /// Latency decomposition of one decode step (not memoised; the total
+  /// equals decode_step_seconds bit-for-bit).
+  [[nodiscard]] StepBreakdown decode_breakdown(index_t batch,
+                                               double avg_context) const;
+
+  [[nodiscard]] const ParallelConfig& config() const { return cfg_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  /// All world_size() workers, stage-major ((tp 0..n, stage 0), ...).
+  [[nodiscard]] const std::vector<Worker>& workers() const { return workers_; }
+  [[nodiscard]] const Interconnect& link() const { return link_; }
+
+  /// The binding per-rank KV block budget: block allocation is mirrored
+  /// across ranks, so the scheduler budget is the minimum over workers.
+  [[nodiscard]] index_t min_kv_block_budget(
+      index_t block_size, double activation_reserve = 0.1) const;
+  /// Largest weight shard any rank holds.
+  [[nodiscard]] double max_weight_shard_bytes() const;
+
+ private:
+  [[nodiscard]] StepBreakdown decode_breakdown_at(index_t batch,
+                                                  double bucket_context) const;
+
+  const Engine& engine_;
+  ParallelConfig cfg_;
+  std::vector<Worker> workers_;
+  Interconnect link_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<std::pair<index_t, index_t>, double> decode_cache_;
+};
+
+}  // namespace marlin::serve::parallel

@@ -1,0 +1,116 @@
+#include "serve/parallel/worker.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "serve/parallel/interconnect.hpp"
+#include "util/error.hpp"
+
+namespace marlin::serve::parallel {
+
+Worker::Worker(const Engine& engine, const ParallelConfig& cfg, RankId rank)
+    : engine_(&engine), cfg_(cfg), rank_(rank) {
+  cfg_.validate();
+  MARLIN_CHECK(rank_.tp >= 0 && rank_.tp < cfg_.tensor_parallel,
+               "tp rank " << rank_.tp << " outside tensor-parallel group of "
+                          << cfg_.tensor_parallel);
+  MARLIN_CHECK(rank_.stage >= 0 && rank_.stage < cfg_.pipeline_parallel,
+               "stage " << rank_.stage << " outside pipeline of "
+                        << cfg_.pipeline_parallel);
+  const index_t layers = engine.config().model.num_layers;
+  MARLIN_CHECK(cfg_.pipeline_parallel <= layers,
+               "pipeline-parallel degree " << cfg_.pipeline_parallel
+                                           << " exceeds the model's " << layers
+                                           << " layers");
+  // Balanced contiguous partition; the first `rem` stages take one extra
+  // layer (the last stage already carries the LM head).
+  const index_t base = layers / cfg_.pipeline_parallel;
+  const index_t rem = layers % cfg_.pipeline_parallel;
+  const auto stage = static_cast<index_t>(rank_.stage);
+  num_layers_ = base + (stage < rem ? 1 : 0);
+  first_layer_ = stage * base + std::min(stage, rem);
+}
+
+bool Worker::has_lm_head() const {
+  return rank_.stage == cfg_.pipeline_parallel - 1;
+}
+
+double Worker::weight_shard_bytes() const {
+  const auto& model = engine_->config().model;
+  const double tp = static_cast<double>(cfg_.tensor_parallel);
+  double bytes = model.params_per_block() * static_cast<double>(num_layers_) *
+                 engine_->weight_bits() / 8.0 / tp;
+  // Embedding and LM head stay FP16, vocab-split across the TP group.
+  if (has_embedding()) bytes += model.embedding_params() * 2.0 / tp;
+  if (has_lm_head()) bytes += model.embedding_params() * 2.0 / tp;
+  return bytes;
+}
+
+double Worker::kv_bytes_per_token() const {
+  const auto& model = engine_->config().model;
+  return 2.0 * static_cast<double>(num_layers_) *
+         static_cast<double>(model.num_kv_heads) *
+         static_cast<double>(model.head_dim) * 2.0 /
+         static_cast<double>(cfg_.tensor_parallel);
+}
+
+index_t Worker::kv_block_budget(index_t block_size,
+                                double activation_reserve) const {
+  std::ostringstream what;
+  what << engine_->config().model.name << " rank (tp " << rank_.tp
+       << ", stage " << rank_.stage << ", " << num_layers_ << " layers)";
+  return sched::kv_blocks_that_fit(
+      engine_->config().gpu.hbm_bytes(), weight_shard_bytes(),
+      kv_bytes_per_token(), block_size, activation_reserve,
+      what.str() + " on " + engine_->config().gpu.name);
+}
+
+sched::BlockManager Worker::make_block_manager(
+    index_t block_size, double activation_reserve) const {
+  sched::BlockManagerConfig bc;
+  bc.block_size = block_size;
+  bc.num_blocks = kv_block_budget(block_size, activation_reserve);
+  return sched::BlockManager(bc);
+}
+
+double Worker::decode_compute_seconds(index_t mb_tokens,
+                                      double avg_context) const {
+  const double layers = static_cast<double>(num_layers_);
+  double t = layers * engine_->block_linear_seconds(mb_tokens,
+                                                    cfg_.tensor_parallel) +
+             layers * engine_->attention_layer_seconds(mb_tokens, avg_context,
+                                                       cfg_.tensor_parallel);
+  if (has_lm_head()) {
+    t += engine_->lm_head_seconds(mb_tokens, cfg_.tensor_parallel);
+  }
+  return t;
+}
+
+double Worker::prefill_compute_seconds(index_t mb_tokens,
+                                       index_t prompt_tokens) const {
+  const double layers = static_cast<double>(num_layers_);
+  double t = layers * engine_->block_linear_seconds(mb_tokens,
+                                                    cfg_.tensor_parallel) +
+             layers * engine_->prefill_attention_layer_seconds(
+                          mb_tokens, prompt_tokens, cfg_.tensor_parallel);
+  if (has_lm_head()) {
+    t += engine_->lm_head_seconds(mb_tokens, cfg_.tensor_parallel);
+  }
+  return t;
+}
+
+double Worker::tp_comm_seconds(index_t tokens) const {
+  if (cfg_.tensor_parallel == 1) return 0.0;
+  // Interconnect is a pure projection of the DeviceSpec (the single
+  // source of truth), so rebuilding it here agrees with
+  // ParallelEngine::link() by construction.
+  const Interconnect link = Interconnect::of(engine_->config().gpu);
+  const double bytes = static_cast<double>(tokens) *
+                       static_cast<double>(engine_->config().model.hidden) *
+                       2.0;
+  // Two all-reduces per transformer block (attention out, MLP down).
+  return 2.0 * static_cast<double>(num_layers_) *
+         link.allreduce_seconds(bytes, cfg_.tensor_parallel);
+}
+
+}  // namespace marlin::serve::parallel

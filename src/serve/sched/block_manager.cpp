@@ -90,29 +90,47 @@ bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens) {
   return true;
 }
 
-index_t derive_kv_block_budget(const Engine& engine, index_t block_size,
-                               double activation_reserve) {
+index_t kv_blocks_that_fit(double hbm_bytes, double weight_bytes,
+                           double kv_bytes_per_token, index_t block_size,
+                           double activation_reserve,
+                           const std::string& what) {
   MARLIN_CHECK(block_size >= 1, "block size must be >= 1 token");
   MARLIN_CHECK(activation_reserve >= 0.0 && activation_reserve < 1.0,
                "activation reserve must be in [0, 1)");
-  const double hbm = engine.config().gpu.hbm_bytes();
-  const double available = hbm * (1.0 - activation_reserve) -
-                           engine.weight_bytes_per_gpu();
+  MARLIN_CHECK(kv_bytes_per_token > 0.0, "KV bytes per token must be > 0");
+  const double available =
+      hbm_bytes * (1.0 - activation_reserve) - weight_bytes;
+  // Clamp the headroom at zero with a clear deficit message. Letting a
+  // negative `available` reach the block-count cast below would underflow
+  // into a garbage budget.
   MARLIN_CHECK(available > 0,
-               engine.config().model.name
-                   << " weights (" << engine.weight_bytes_per_gpu() / 1e9
-                   << " GB/GPU) do not fit on " << engine.config().gpu.name);
+               what << " weights (" << weight_bytes / 1e9
+                    << " GB) exceed the usable "
+                    << hbm_bytes * (1.0 - activation_reserve) / 1e9
+                    << " GB of HBM by "
+                    << (weight_bytes -
+                        hbm_bytes * (1.0 - activation_reserve)) /
+                           1e9
+                    << " GB; KV block budget clamps to 0");
   const double block_bytes =
-      engine.kv_bytes_per_token() * static_cast<double>(block_size);
+      kv_bytes_per_token * static_cast<double>(block_size);
   const auto blocks = static_cast<index_t>(available / block_bytes);
   // A budget of 0 would mean "unlimited" downstream — refuse instead:
   // if not even one block fits next to the weights, the device can't
   // serve this model.
-  MARLIN_CHECK(blocks >= 1,
-               "no KV headroom: " << available / 1e9 << " GB left beside "
-                                  << engine.config().model.name << " on "
-                                  << engine.config().gpu.name);
+  MARLIN_CHECK(blocks >= 1, "no KV headroom: only "
+                                << available / 1e9 << " GB left beside "
+                                << what);
   return blocks;
+}
+
+index_t derive_kv_block_budget(const Engine& engine, index_t block_size,
+                               double activation_reserve) {
+  return kv_blocks_that_fit(
+      engine.config().gpu.hbm_bytes(), engine.weight_bytes_per_gpu(),
+      engine.kv_bytes_per_token(), block_size, activation_reserve,
+      engine.config().model.name + std::string(" on ") +
+          engine.config().gpu.name);
 }
 
 }  // namespace marlin::serve::sched

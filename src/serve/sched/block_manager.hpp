@@ -17,6 +17,7 @@
 // weights minus an activation reserve, divided by the per-token KV bytes
 // of the model (see `derive_kv_block_budget`).
 
+#include <string>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -74,6 +75,19 @@ class BlockManager {
   std::vector<bool> allocated_;          // per-id liveness (double-free guard)
   index_t next_fresh_ = 0;               // unlimited mode: next unseen id
 };
+
+/// Shared budget arithmetic: paged KV blocks of `block_size` tokens that
+/// fit in `hbm_bytes` beside `weight_bytes` of resident weights, holding
+/// back `activation_reserve` of HBM. The headroom is clamped at zero and a
+/// clear deficit error is thrown — a negative headroom must never reach the
+/// block-count cast and underflow (reachable once tensor-parallel sharding
+/// shrinks per-rank weights asymmetrically). `what` names the model/rank
+/// for the message.
+[[nodiscard]] index_t kv_blocks_that_fit(double hbm_bytes, double weight_bytes,
+                                         double kv_bytes_per_token,
+                                         index_t block_size,
+                                         double activation_reserve,
+                                         const std::string& what);
 
 /// Per-GPU KV block budget of `engine` on its configured device: HBM bytes
 /// minus resident weights minus `activation_reserve` of HBM, divided by

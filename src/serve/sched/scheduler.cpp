@@ -52,8 +52,8 @@ index_t policy_key(SchedPolicy policy, const Request& r) {
 
 }  // namespace
 
-Scheduler::Scheduler(const Engine& engine, SchedulerConfig cfg)
-    : engine_(engine), cfg_(cfg) {
+Scheduler::Scheduler(const StepModel& model, SchedulerConfig cfg)
+    : model_(model), cfg_(cfg) {
   MARLIN_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
   MARLIN_CHECK(cfg_.prefill_chunk_tokens >= 0, "negative prefill chunk");
 }
@@ -72,7 +72,7 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
     max_context =
         std::max(max_context, trace[i].input_tokens + trace[i].output_tokens);
   }
-  engine_.warm_decode_cache(ctx, cfg_.max_batch,
+  model_.warm_decode_cache(ctx, cfg_.max_batch,
                             static_cast<double>(max_context));
 
   std::deque<std::size_t> queue;
@@ -176,7 +176,7 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
       // flight (the goldens path) this is exactly each sequence's prompt.
       const auto tokens_per_seq = static_cast<index_t>(
           std::llround(total_new / static_cast<double>(count)));
-      now += engine_.prefill_seconds(count, std::max<index_t>(1,
+      now += model_.prefill_seconds(count, std::max<index_t>(1,
                                                               tokens_per_seq));
       ++stats.prefill_steps;
 
@@ -225,7 +225,7 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
                  static_cast<double>(requests[id].generated);
     }
     const auto batch = static_cast<index_t>(running.size());
-    const double t_step = engine_.decode_step_seconds(
+    const double t_step = model_.decode_step_seconds(
         batch, ctx_sum / static_cast<double>(batch));
     now += t_step;
     batch_weighted += static_cast<double>(batch) * t_step;

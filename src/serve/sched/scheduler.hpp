@@ -84,17 +84,20 @@ struct SchedStats {
 
 class Scheduler {
  public:
-  Scheduler(const Engine& engine, SchedulerConfig cfg);
+  /// Prices steps against any StepModel: the single-device `Engine` or
+  /// the multi-GPU `parallel::ParallelEngine` (max over ranks plus
+  /// interconnect communication).
+  Scheduler(const StepModel& model, SchedulerConfig cfg);
 
-  /// Runs the trace to completion. `ctx` only pre-warms the engine's
-  /// decode memo (per-GPU step-model evaluation on the shared pool); the
+  /// Runs the trace to completion. `ctx` only pre-warms the step model's
+  /// decode memo (per-rank step evaluation on the shared pool); the
   /// stats are bit-identical for every context.
   [[nodiscard]] SchedStats run(
       const std::vector<TraceRequest>& trace,
       const SimContext& ctx = SimContext::serial_context()) const;
 
  private:
-  const Engine& engine_;
+  const StepModel& model_;
   SchedulerConfig cfg_;
 };
 

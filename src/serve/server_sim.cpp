@@ -1,5 +1,9 @@
 #include "serve/server_sim.hpp"
 
+#include <optional>
+
+#include "serve/parallel/parallel_engine.hpp"
+
 namespace marlin::serve {
 
 sched::SchedStats simulate_serving_detailed(const Engine& engine,
@@ -13,14 +17,34 @@ sched::SchedStats simulate_serving_detailed(const Engine& engine,
   w.output_tokens = cfg.output_tokens;
   w.seed = cfg.seed;
 
+  // Validate unconditionally: a malformed microbatch count must not be
+  // masked just because tp/pp happen to be 1 (the trivial path below
+  // never reaches the ParallelEngine ctor that would catch it).
+  cfg.parallel.validate();
+
+  // Non-trivial parallel configs price steps through the per-rank worker
+  // model; the trivial default stays on the engine itself so the legacy
+  // goldens path is untouched (same objects, same calls, same bits).
+  std::optional<parallel::ParallelEngine> sharded;
+  if (!cfg.parallel.trivial()) sharded.emplace(engine, cfg.parallel);
+  const StepModel& model =
+      sharded ? static_cast<const StepModel&>(*sharded) : engine;
+
+  index_t kv_blocks = cfg.kv_blocks;
+  if (kv_blocks < 0) {
+    kv_blocks = sharded
+                    ? sharded->min_kv_block_budget(cfg.kv_block_size)
+                    : sched::derive_kv_block_budget(engine, cfg.kv_block_size);
+  }
+
   sched::SchedulerConfig sc;
   sc.policy = cfg.policy;
   sc.max_batch = cfg.max_batch;
   sc.prefill_chunk_tokens = cfg.prefill_chunk_tokens;
   sc.blocks.block_size = cfg.kv_block_size;
-  sc.blocks.num_blocks = cfg.kv_blocks;
+  sc.blocks.num_blocks = kv_blocks;
 
-  const sched::Scheduler scheduler(engine, sc);
+  const sched::Scheduler scheduler(model, sc);
   return scheduler.run(sched::generate_trace(w), ctx);
 }
 

@@ -10,6 +10,7 @@
 // scheduler's policy, workload and KV-budget space to the benches.
 
 #include "serve/engine.hpp"
+#include "serve/parallel/parallel_config.hpp"
 #include "serve/sched/scheduler.hpp"
 
 namespace marlin::serve {
@@ -27,12 +28,19 @@ struct ServingConfig {
   sched::WorkloadShape shape = sched::WorkloadShape::kPoisson;
   /// Admission policy; FCFS matches the pre-subsystem behaviour.
   sched::SchedPolicy policy = sched::SchedPolicy::kFcfs;
-  /// KV-cache block budget; 0 = unlimited (the goldens configuration).
-  /// Use `sched::derive_kv_block_budget` for a device-derived budget.
+  /// KV-cache block budget; 0 = unlimited (the goldens configuration),
+  /// negative = derive from the device HBM next to the resident weights
+  /// (per-rank aware: under TP/PP the minimum rank budget binds).
   index_t kv_blocks = 0;
   index_t kv_block_size = 16;
   /// Per-sequence prefill chunk tokens; 0 = whole prompt per step.
   index_t prefill_chunk_tokens = 0;
+  /// Multi-GPU sharding. The default (TP=1, PP=1) runs the engine
+  /// directly and reproduces the single-device goldens byte-for-byte;
+  /// anything else prices steps through `parallel::ParallelEngine` (max
+  /// over ranks plus interconnect communication) and requires the engine
+  /// to be configured with num_gpus == 1.
+  parallel::ParallelConfig parallel{};
 };
 
 /// Full scheduler statistics (metrics + preemptions, KV peak, per-request

@@ -1,0 +1,274 @@
+// Multi-GPU parallel serving model: rank-grid partition invariants,
+// per-rank weight shards and KV budgets (incl. the clamp-to-zero error
+// path), interconnect pricing, TP=1/PP=1 equivalence to the legacy
+// single-device path, and the bit-identical-across-threads contract for
+// the per-rank Worker path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "serve/parallel/parallel_engine.hpp"
+#include "serve/server_sim.hpp"
+
+namespace marlin::serve::parallel {
+namespace {
+
+EngineConfig a100_cfg(ModelConfig model = llama2_70b(),
+                      WeightFormat fmt = WeightFormat::kMarlin) {
+  EngineConfig cfg;
+  cfg.model = std::move(model);
+  cfg.gpu = gpusim::a100_80g();
+  cfg.format = fmt;
+  return cfg;
+}
+
+// ------------------------------------------------------------- config
+
+TEST(ParallelConfig, ValidationAndDerivedQuantities) {
+  ParallelConfig pc;
+  EXPECT_TRUE(pc.trivial());
+  EXPECT_EQ(pc.world_size(), 1);
+  EXPECT_EQ(pc.effective_microbatches(), 1);
+
+  pc = {2, 4, 0};
+  EXPECT_FALSE(pc.trivial());
+  EXPECT_EQ(pc.world_size(), 8);
+  EXPECT_EQ(pc.effective_microbatches(), 4);  // defaults to one per stage
+  EXPECT_EQ(pc.to_string(), "tp2 pp4");
+  pc.microbatches = 8;
+  EXPECT_EQ(pc.effective_microbatches(), 8);
+  EXPECT_EQ(pc.to_string(), "tp2 pp4 mb8");
+
+  EXPECT_THROW(ParallelConfig({0, 1, 0}).validate(), Error);
+  EXPECT_THROW(ParallelConfig({1, 0, 0}).validate(), Error);
+  EXPECT_THROW(ParallelConfig({1, 1, -1}).validate(), Error);
+}
+
+// ------------------------------------------------------------- workers
+
+TEST(Worker, StagePartitionCoversEveryLayerOnce) {
+  const Engine engine(a100_cfg());
+  const index_t layers = engine.config().model.num_layers;
+  for (const int pp : {1, 2, 3, 4, 7}) {
+    const ParallelConfig pc{1, pp, 0};
+    index_t covered = 0;
+    index_t next_layer = 0;
+    for (int stage = 0; stage < pp; ++stage) {
+      const Worker w(engine, pc, {0, stage});
+      EXPECT_EQ(w.first_layer(), next_layer) << "pp=" << pp << " s=" << stage;
+      // Balanced to within one layer.
+      EXPECT_LE(std::abs(w.num_layers() - layers / pp), 1);
+      EXPECT_EQ(w.has_embedding(), stage == 0);
+      EXPECT_EQ(w.has_lm_head(), stage == pp - 1);
+      covered += w.num_layers();
+      next_layer = w.first_layer() + w.num_layers();
+    }
+    EXPECT_EQ(covered, layers) << "pp=" << pp;
+  }
+  // More stages than layers is refused.
+  const Engine tiny(a100_cfg(llama2_7b()));
+  EXPECT_THROW(Worker(tiny, {1, 64, 0}, {0, 0}), Error);
+}
+
+TEST(Worker, WeightShardsSumToTheWholeModel) {
+  const Engine engine(a100_cfg());
+  const auto& model = engine.config().model;
+  const double quantized_blocks = model.params_per_block() *
+                                  static_cast<double>(model.num_layers) *
+                                  engine.weight_bits() / 8.0;
+  const double fp16_embed_and_head = 2.0 * model.embedding_params() * 2.0;
+  for (const auto& pc : {ParallelConfig{1, 1, 0}, ParallelConfig{2, 1, 0},
+                         ParallelConfig{2, 4, 0}, ParallelConfig{4, 2, 0}}) {
+    double total = 0.0;
+    for (int stage = 0; stage < pc.pipeline_parallel; ++stage) {
+      for (int tp = 0; tp < pc.tensor_parallel; ++tp) {
+        total += Worker(engine, pc, {tp, stage}).weight_shard_bytes();
+      }
+    }
+    EXPECT_NEAR(total, quantized_blocks + fp16_embed_and_head,
+                1e-3 * total)
+        << pc.to_string();
+  }
+}
+
+TEST(Worker, KvBytesScaleWithStageLayersAndTpDegree) {
+  const Engine engine(a100_cfg());
+  const Worker whole(engine, {1, 1, 0}, {0, 0});
+  EXPECT_EQ(whole.kv_bytes_per_token(), engine.kv_bytes_per_token());
+  const Worker half_tp(engine, {2, 1, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(half_tp.kv_bytes_per_token(),
+                   whole.kv_bytes_per_token() / 2.0);
+  const Worker half_pp(engine, {1, 2, 0}, {0, 1});
+  EXPECT_DOUBLE_EQ(half_pp.kv_bytes_per_token(),
+                   whole.kv_bytes_per_token() / 2.0);
+}
+
+TEST(Worker, PerRankBudgetGrowsWithShardingAndFeedsBlockManager) {
+  const Engine engine(a100_cfg());
+  const Worker whole(engine, {1, 1, 0}, {0, 0});
+  const Worker sharded(engine, {4, 1, 0}, {0, 0});
+  // A quarter of the weights and a quarter of the per-token KV leave far
+  // more than the single-device block count.
+  EXPECT_GT(sharded.kv_block_budget(16), 2 * whole.kv_block_budget(16));
+  const auto bm = sharded.make_block_manager(16);
+  EXPECT_FALSE(bm.unlimited());
+  EXPECT_EQ(bm.total_blocks(), sharded.kv_block_budget(16));
+}
+
+TEST(Worker, OversizedShardClampsToZeroWithClearErrorNotUnderflow) {
+  // Falcon-180B FP16 is ~360 GB; half of it still overflows an A100.
+  const Engine engine(a100_cfg(falcon_180b(), WeightFormat::kFp16));
+  const Worker w(engine, {1, 2, 0}, {0, 0});
+  EXPECT_GT(w.weight_shard_bytes(), engine.config().gpu.hbm_bytes());
+  try {
+    (void)w.kv_block_budget(16);
+    FAIL() << "oversized shard must throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("clamps to 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("exceed"), std::string::npos) << msg;
+  }
+  // The legacy single-device derivation shares the guard.
+  EXPECT_THROW((void)sched::derive_kv_block_budget(engine, 16), Error);
+}
+
+// -------------------------------------------------------- interconnect
+
+TEST(Interconnect, RingAllReduceAndTransferPricing) {
+  const Interconnect link{100e9, 5e-6};
+  EXPECT_DOUBLE_EQ(link.allreduce_seconds(1e9, 1), 0.0);
+  // 2(g-1)/g of the payload over the wire plus 2(g-1) latency hops.
+  EXPECT_DOUBLE_EQ(link.allreduce_seconds(1e9, 2),
+                   1e9 / 100e9 + 2.0 * 5e-6);
+  EXPECT_GT(link.allreduce_seconds(1e9, 8), link.allreduce_seconds(1e9, 2));
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(2e9), 0.02 + 5e-6);
+  EXPECT_THROW((void)link.allreduce_seconds(-1.0, 2), Error);
+}
+
+// ------------------------------------------------------ parallel engine
+
+TEST(ParallelEngine, TrivialConfigEqualsLegacyEngineBitForBit) {
+  const Engine engine(a100_cfg());
+  const ParallelEngine pe(engine, {1, 1, 0});
+  for (const index_t batch : {index_t{1}, index_t{8}, index_t{64}}) {
+    EXPECT_EQ(pe.decode_step_seconds(batch, 300.0),
+              engine.decode_step_seconds(batch, 300.0));
+    EXPECT_EQ(pe.prefill_seconds(batch, 64),
+              engine.prefill_seconds(batch, 64));
+  }
+  // The serving adapter takes the identical path: every metric matches.
+  ServingConfig sc;
+  sc.qps = 4.0;
+  sc.duration_s = 15.0;
+  const auto legacy = simulate_serving_detailed(engine, sc);
+  sc.parallel = {1, 1, 0};
+  const auto routed = simulate_serving_detailed(engine, sc);
+  EXPECT_EQ(legacy.metrics.mean_tpot_ms, routed.metrics.mean_tpot_ms);
+  EXPECT_EQ(legacy.metrics.mean_ttft_ms, routed.metrics.mean_ttft_ms);
+  EXPECT_EQ(legacy.metrics.p90_tpot_ms, routed.metrics.p90_tpot_ms);
+  EXPECT_EQ(legacy.metrics.completed, routed.metrics.completed);
+  EXPECT_EQ(legacy.decode_steps, routed.decode_steps);
+  // A malformed config is rejected even on the trivial path (tp/pp of 1
+  // must not mask a bad microbatch count).
+  sc.parallel = {1, 1, -5};
+  EXPECT_THROW((void)simulate_serving_detailed(engine, sc), Error);
+}
+
+TEST(ParallelEngine, RejectsCompoundingWithLegacyNumGpusSplit) {
+  auto cfg = a100_cfg();
+  cfg.num_gpus = 2;
+  const Engine engine(cfg);
+  EXPECT_THROW(ParallelEngine(engine, ParallelConfig{2, 1, 0}), Error);
+  // Trivial configs stay compatible with the legacy split.
+  const ParallelEngine pe(engine, {1, 1, 0});
+  EXPECT_EQ(pe.decode_step_seconds(8, 100.0),
+            engine.decode_step_seconds(8, 100.0));
+}
+
+TEST(ParallelEngine, TensorParallelSpeedsUpButPaysAllReduce) {
+  const Engine engine(a100_cfg());
+  const ParallelEngine tp2(engine, {2, 1, 0});
+  const double t1 = engine.decode_step_seconds(64, 512.0);
+  const double t2 = tp2.decode_step_seconds(64, 512.0);
+  EXPECT_LT(t2, t1);  // sharded compute wins at batch 64
+  EXPECT_GT(t2, (t1 - engine.config().step_overhead_s) / 2.0);  // Amdahl+comm
+  const auto b = tp2.decode_breakdown(64, 512.0);
+  EXPECT_GT(b.tp_comm_s, 0.0);
+  EXPECT_EQ(b.pp_send_s, 0.0);
+  EXPECT_EQ(b.total_s, t2);  // breakdown total matches the memoised step
+}
+
+TEST(ParallelEngine, PipelineAddsBubbleAndSendOverhead) {
+  const Engine engine(a100_cfg());
+  const ParallelEngine pp2(engine, {1, 2, 0});
+  const double t1 = engine.decode_step_seconds(32, 512.0);
+  const double t2 = pp2.decode_step_seconds(32, 512.0);
+  // Two serialized half-stacks plus a boundary send can't beat one device
+  // on a latency (single-step) basis.
+  EXPECT_GT(t2, t1 - engine.config().step_overhead_s);
+  const auto b = pp2.decode_breakdown(32, 512.0);
+  EXPECT_EQ(b.microbatches, 2);
+  EXPECT_DOUBLE_EQ(b.bubble_fraction, 1.0 / 3.0);
+  EXPECT_GT(b.pp_send_s, 0.0);
+  // More microbatches shrink the bubble fraction.
+  const ParallelEngine mb8(engine, {1, 2, 8});
+  EXPECT_LT(mb8.decode_breakdown(32, 512.0).bubble_fraction,
+            b.bubble_fraction);
+}
+
+TEST(ParallelEngine, MinRankBudgetBindsAcrossAsymmetricStages) {
+  const Engine engine(a100_cfg());
+  const ParallelEngine pe(engine, {1, 4, 0});
+  index_t min_budget = 0;
+  for (const Worker& w : pe.workers()) {
+    const index_t b = w.kv_block_budget(16);
+    min_budget = min_budget == 0 ? b : std::min(min_budget, b);
+  }
+  EXPECT_EQ(pe.min_kv_block_budget(16), min_budget);
+  EXPECT_EQ(pe.workers().size(), 4u);
+}
+
+TEST(ParallelEngine, ServingBitIdenticalAcrossThreadCounts) {
+  const Engine engine(a100_cfg());
+  ServingConfig sc;
+  sc.qps = 8.0;
+  sc.duration_s = 15.0;
+  sc.shape = sched::WorkloadShape::kShareGpt;
+  sc.policy = sched::SchedPolicy::kShortestJob;
+  sc.kv_blocks = -1;  // per-rank derived budget
+  sc.max_batch = 32;
+  sc.parallel = {2, 2, 0};
+  const SimContext serial(1);
+  const SimContext pooled(4);
+  const auto a = simulate_serving_detailed(engine, sc, serial);
+  const auto b = simulate_serving_detailed(engine, sc, pooled);
+  EXPECT_EQ(a.metrics.mean_tpot_ms, b.metrics.mean_tpot_ms);
+  EXPECT_EQ(a.metrics.mean_ttft_ms, b.metrics.mean_ttft_ms);
+  EXPECT_EQ(a.metrics.p90_tpot_ms, b.metrics.p90_tpot_ms);
+  EXPECT_EQ(a.metrics.p90_ttft_ms, b.metrics.p90_ttft_ms);
+  EXPECT_EQ(a.metrics.mean_batch, b.metrics.mean_batch);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.decode_steps, b.decode_steps);
+  EXPECT_EQ(a.peak_kv_blocks, b.peak_kv_blocks);
+}
+
+TEST(ParallelEngine, RepeatRunsAreDeterministic) {
+  const Engine engine(a100_cfg());
+  ServingConfig sc;
+  sc.qps = 6.0;
+  sc.duration_s = 10.0;
+  sc.parallel = {2, 1, 0};
+  const auto a = simulate_serving_detailed(engine, sc);
+  // A fresh ParallelEngine (cold memo) must reproduce the same bits.
+  const auto b = simulate_serving_detailed(engine, sc);
+  EXPECT_EQ(a.metrics.mean_tpot_ms, b.metrics.mean_tpot_ms);
+  EXPECT_EQ(a.metrics.mean_ttft_ms, b.metrics.mean_ttft_ms);
+  EXPECT_EQ(a.sim_end_s, b.sim_end_s);
+}
+
+}  // namespace
+}  // namespace marlin::serve::parallel
