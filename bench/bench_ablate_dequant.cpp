@@ -16,7 +16,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ablate_dequant",
+                          "ablation: lop3 dequant trick vs naive casts (host throughput)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Ablation: dequantisation method (host throughput) ===\n\n";
 
   Rng rng(1);

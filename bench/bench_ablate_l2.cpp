@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ablate_l2",
+                          "ablation: hiding A-block reloads behind L2 (paper Eq. 1)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Ablation: L2 bound (Eq. 1) on A10, 72k x 18k ===\n\n";
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};

@@ -15,7 +15,10 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   using core::striped_partition_stats;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ablate_partition",
+                          "ablation: striped partitioning vs column-wise (paper Fig. 5)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Ablation: partitioning scheme (batch 16, N_sm=256) ===\n\n";
 
   struct Point {

@@ -9,7 +9,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ablate_pipeline",
+                          "ablation: cp.async pipeline depth (the paper picks P=4)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Ablation: pipeline depth (A10, 72k x 18k) ===\n\n";
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};

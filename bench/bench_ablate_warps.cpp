@@ -19,7 +19,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ablate_warps",
+                          "ablation: warp layouts (paper Fig. 4 / Sec. 3.4)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Ablation: warp layout (A10, N_sm=256, batch 16) ===\n\n";
   const auto d = gpusim::a10();
   const gpusim::ClockModel clock{gpusim::ClockMode::kBoost};

@@ -14,7 +14,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ext_awq",
+                          "extension: AWQ-format MARLIN (paper Sec. 6)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Extension: AWQ-format MARLIN (paper Section 6) ===\n\n";
 
   // Increasingly outlier-heavy activations: AWQ's advantage grows. Each

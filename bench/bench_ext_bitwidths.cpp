@@ -13,7 +13,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ext_bitwidths",
+                          "extension: extreme weight bit-widths (paper Sec. 7)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Extension: weight bit-width sweep (A10, 72k x 18k, "
                "batch 16) ===\n\n";
   const auto d = gpusim::a10();

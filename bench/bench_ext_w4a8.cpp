@@ -8,7 +8,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_ext_w4a8",
+                          "extension: W4A8 INT8 activations (paper Sec. 6)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Extension: W4A8 (INT8 activations) on A100, "
                "8192 x 8192 ===\n\n";
   const auto d = gpusim::a100_80g();

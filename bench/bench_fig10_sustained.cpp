@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig10_sustained",
+                          "Figure 10 - sustained performance at locked base clocks");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 10: sustained per-layer speedup on A10 "
                "(locked base clock) ===\n"
             << "16bit x 4bit (group=128), K=18432, N=73728\n\n";

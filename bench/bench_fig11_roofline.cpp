@@ -14,7 +14,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig11_roofline",
+                          "Figure 11 - roofline analysis of the MARLIN kernel");
+  const SimContext ctx = bench::make_context(args);
   const auto d = gpusim::a10();
   std::cout << "=== Figure 11: MARLIN roofline on A10 ===\n";
   std::cout << "Roofs: boost " << d.fp16_tc_tflops_boost << " TF (ridge "

@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig12_sparse_peak",
+                          "Figure 12 - Sparse-MARLIN (INT4 + 2:4) peak performance");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 12: Sparse-MARLIN peak speedup on A10 (boost) ===\n"
             << "16bit x 4bit + 2:4 (group=128), K=18432, N=73728\n\n";
   const bench::SweepTimer timer(ctx, "fig12 analytic sweep");

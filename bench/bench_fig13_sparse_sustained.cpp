@@ -6,7 +6,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig13_sparse_sustained",
+                          "Figure 13 - Sparse-MARLIN sustained (base clock)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 13: Sparse-MARLIN sustained speedup on A10 "
                "(locked base clock) ===\n"
             << "16bit x 4bit + 2:4 (group=128), K=18432, N=73728\n\n";

@@ -13,7 +13,10 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   using serve::WeightFormat;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig14_e2e_generation",
+                          "Figure 14 - end-to-end Llama-2-7B generation time");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 14: Llama-2-7B generation time on A10 "
                "(64 in / 64 out) ===\n\n";
 

@@ -14,6 +14,11 @@ int main(int argc, char** argv) {
   using namespace marlin;
   using serve::WeightFormat;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "bench_fig16_ttft",
+      "Figure 16 - serving TTFT (time to first token), Llama-2-7B on "
+      "RTX A6000",
+      bench::serving_flag_help());
   const SimContext ctx = bench::make_context(args);
   // --seed reproduces the identical Poisson trace; --policy swaps the
   // scheduler's admission order (defaults are the goldens configuration).

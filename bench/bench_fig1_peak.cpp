@@ -93,7 +93,10 @@ void functional_sweep(const SimContext& ctx) {
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig1_peak",
+                          "Figure 1 - peak speedup over FP16 vs batch size (A10, boost clocks)");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 1: peak per-layer speedup on A10 (boost clock) ===\n"
             << "16bit x 4bit (group=128), K=18432, N=73728\n\n";
   {

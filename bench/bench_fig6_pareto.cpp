@@ -20,7 +20,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig6_pareto",
+                          "Figure 6 - Llama-2 accuracy/size Pareto curve in MARLIN format");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 6: perplexity vs model size (MARLIN GPTQ) ===\n\n";
 
   // Measure reconstruction error per quantization setting on a synthetic

@@ -13,7 +13,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_fig9_layers",
+                          "Figure 9 - speedup at batch 16 on real Llama-2 layer shapes");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Figure 9: per-layer speedup at batch 16, group=128 ===\n\n";
 
   const std::vector<serve::ModelConfig> models{

@@ -8,7 +8,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_prefill_large_batch",
+                          "paper Sec. 5.1 - prefill-sized batches on A100");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Prefill regime: MARLIN vs FP16 on A100 "
                "(8192 x 8192, group=128) ===\n\n";
   const auto d = gpusim::a100_80g();

@@ -29,6 +29,13 @@ int main(int argc, char** argv) {
   namespace sched = serve::sched;
   namespace par = serve::parallel;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "bench_serve_parallel",
+      "multi-GPU parallel serving sweep: TPxPP rank grids x policy x "
+      "workload, Llama-2-70B on A100/NVLink (sweeps fcfs/sjf itself)",
+      {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
+       {"--qps Q", "mean arrival rate (default 10)"},
+       {"--duration S", "arrival window seconds (default 40)"}});
   const SimContext ctx = bench::make_context(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const double qps = args.get_double("qps", 10.0);

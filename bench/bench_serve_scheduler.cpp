@@ -21,6 +21,15 @@ int main(int argc, char** argv) {
   using namespace marlin;
   namespace sched = serve::sched;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "bench_serve_scheduler",
+      "scheduler scenario sweep: admission policy x workload shape x KV "
+      "budget under overload (sweeps fcfs/sjf/max-util itself)",
+      {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
+       {"--qps Q", "mean arrival rate (default 8)"},
+       {"--duration S", "arrival window seconds (default 60)"},
+       {"--prefill-chunk N",
+        "per-sequence prefill chunk tokens (0 = unchunked)"}});
   const SimContext ctx = bench::make_context(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   const double qps = args.get_double("qps", 8.0);

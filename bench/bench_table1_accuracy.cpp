@@ -21,7 +21,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_table1_accuracy",
+                          "Table 1 - Llama-2-7B accuracy: FP16 vs INT4 vs INT4+2:4");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Table 1: Llama-2-7B accuracy (proxy-mapped) ===\n\n";
 
   const auto layer = eval::make_synthetic_layer(256, 128, 768, 4321);

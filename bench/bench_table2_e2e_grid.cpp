@@ -12,7 +12,10 @@
 
 int main(int argc, char** argv) {
   using namespace marlin;
-  const SimContext ctx = bench::make_context(argc, argv);
+  const CliArgs args(argc, argv);
+  bench::maybe_print_help(args, "bench_table2_e2e_grid",
+                          "Table 2 - end-to-end speedup grid over vLLM FP16");
+  const SimContext ctx = bench::make_context(args);
   std::cout << "=== Table 2: end-to-end MARLIN speedup vs vLLM FP16 ===\n\n";
 
   struct Row {

@@ -12,10 +12,16 @@
 //                a fixed-seed deterministic Rng, so the same seed
 //                reproduces the identical arrival/length trace on every
 //                platform and thread count — goldens rely on seed 42.
-//   --policy P   scheduler admission policy: fcfs | sjf | max-util
-//                (default fcfs, the goldens configuration).
+//   --policy P   scheduler admission policy: fcfs | sjf | max-util | wfq
+//                (default fcfs, the goldens configuration; wfq is the
+//                multi-tenant weighted-fair policy).
+//
+// Every binary also answers `--help` via `maybe_print_help` below, which
+// is the single source of flag documentation at runtime.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -31,6 +37,44 @@
 #include "util/table.hpp"
 
 namespace marlin::bench {
+
+/// One `--flag VALUE` / description pair for the shared help printer.
+struct FlagHelp {
+  std::string flag;
+  std::string text;
+};
+
+/// Shared `--help` handling for every bench and example binary: prints
+/// the binary's one-line summary, the universal `--threads` flag, the
+/// binary-specific flags, and `--help` itself, then exits. Call right
+/// after constructing the CliArgs so `--help` never runs a sweep.
+inline void maybe_print_help(const CliArgs& args, const std::string& binary,
+                             const std::string& summary,
+                             std::vector<FlagHelp> flags = {}) {
+  if (!args.get_bool("help", false)) return;
+  std::vector<FlagHelp> all;
+  all.push_back({"--threads N",
+                 "worker threads; 0/absent = MARLIN_THREADS env, then "
+                 "hardware concurrency; 1 = bit-identical serial mode"});
+  for (auto& f : flags) all.push_back(std::move(f));
+  all.push_back({"--help", "print this help and exit"});
+  std::size_t width = 0;
+  for (const auto& f : all) width = std::max(width, f.flag.size());
+  std::cout << binary << " — " << summary << "\n\nFlags:\n";
+  for (const auto& f : all) {
+    std::cout << "  " << f.flag << std::string(width - f.flag.size() + 2, ' ')
+              << f.text << "\n";
+  }
+  std::exit(0);
+}
+
+/// The serving flags shared by fig15/fig16/bench_serve_* (documented at
+/// the top of this header).
+inline std::vector<FlagHelp> serving_flag_help() {
+  return {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
+          {"--policy P",
+           "scheduler admission policy: fcfs | sjf | max-util | wfq"}};
+}
 
 /// Context for a bench main(): honours --threads / MARLIN_THREADS.
 inline SimContext make_context(int argc, const char* const* argv) {

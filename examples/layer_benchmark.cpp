@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "baselines/kernel_model.hpp"
 #include "serve/model_config.hpp"
 #include "util/cli.hpp"
@@ -17,6 +18,16 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "layer_benchmark",
+      "estimate any kernel on any layer shape and GPU",
+      {{"--device D", "GPU (default a10)"},
+       {"--m N", "batch (default 16)"},
+       {"--group N", "quantization group size (default 128)"},
+       {"--base-clock", "lock to base clocks instead of thermal model"},
+       {"--model M", "use a real model's layer shapes instead of --k/--n"},
+       {"--k N", "custom reduction dim (default 18432)"},
+       {"--n N", "custom output dim (default 73728)"}});
   const SimContext ctx = make_sim_context(args);
   const auto device = gpusim::device_by_name(
       args.get_string("device", "a10"));

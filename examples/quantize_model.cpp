@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "eval/metrics.hpp"
 #include "eval/synthetic.hpp"
 #include "layout/repack.hpp"
@@ -20,6 +21,15 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "quantize_model",
+      "GPTQ-quantize a synthetic model, report quality and size",
+      {{"--layers N", "layer count (default 4)"},
+       {"--k N", "reduction dim (default 512)"},
+       {"--n N", "output dim (default 256)"},
+       {"--tokens N", "calibration tokens (default 2*k)"},
+       {"--group N", "quantization group size (default 128)"},
+       {"--clip", "clip-search the quantization grid (default on)"}});
   const SimContext ctx = make_sim_context(args);
   const index_t layers = args.get_int("layers", 4);
   const index_t k = args.get_int("k", 512);

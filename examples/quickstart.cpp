@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "baselines/kernel_model.hpp"
 #include "core/marlin_kernel.hpp"
 #include "core/timing.hpp"
@@ -21,6 +22,9 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "quickstart",
+      "quantize one layer, run the kernel, check the output");
   const SimContext ctx = make_sim_context(args);
   const index_t m = 16, k = 512, n = 512;
 

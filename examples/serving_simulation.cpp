@@ -16,6 +16,7 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "serve/parallel/parallel_engine.hpp"
 #include "serve/server_sim.hpp"
 #include "util/cli.hpp"
@@ -25,6 +26,34 @@ int main(int argc, char** argv) {
   using namespace marlin;
   namespace sched = serve::sched;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "serving_simulation",
+      "trace-driven serving comparison of weight formats (FP16 / MARLIN / "
+      "Sparse-MARLIN) on the request-level scheduler",
+      {{"--model M", "target model (default llama-2-7b)"},
+       {"--device D", "GPU (default rtxa6000)"},
+       {"--gpus N", "legacy single-model weight split (default 1; exclusive "
+                    "with --tp/--pp)"},
+       {"--qps Q", "mean arrival rate (default 2.5)"},
+       {"--duration S", "arrival window seconds (default 120)"},
+       {"--input-tokens N", "prompt tokens (default 64)"},
+       {"--output-tokens N", "output tokens (default 64)"},
+       {"--seed S", "workload-trace seed (default 42)"},
+       {"--workload W", "arrival shape: poisson | bursty | sharegpt"},
+       {"--policy P", "admission policy: fcfs | sjf | max-util | wfq"},
+       {"--kv-blocks N", "KV budget in blocks (-1 = derive from HBM, 0 = "
+                         "unlimited)"},
+       {"--kv-block-size N", "tokens per KV block (default 16)"},
+       {"--prefill-chunk N", "per-sequence prefill chunk tokens (0 = whole "
+                             "prompt)"},
+       {"--tp N", "tensor-parallel degree (default 1)"},
+       {"--pp N", "pipeline-parallel degree (default 1)"},
+       {"--microbatches N", "pipeline microbatches (0 = one per stage)"},
+       {"--tenants N", "split traffic over N equal-weight tenants (pair "
+                       "with --policy wfq)"},
+       {"--spec-depth D", "speculative draft tokens per round (0 = off)"},
+       {"--spec-accept A", "per-token draft acceptance (default 0.7)"},
+       {"--draft-model M", "draft model (default tinyllama-1.1b)"}});
   const SimContext ctx = make_sim_context(args);
   serve::EngineConfig ecfg;
   ecfg.model = serve::model_by_name(
@@ -51,6 +80,22 @@ int main(int argc, char** argv) {
   scfg.parallel.microbatches =
       static_cast<int>(args.get_int("microbatches", 0));
   scfg.parallel.validate();
+  // --tenants N: N equal-weight, equal-share tenants — enough to exercise
+  // the multi-tenant machinery (see bench_serve_multitenant for tiered
+  // mixes with quotas).
+  const index_t tenants = args.get_int("tenants", 0);
+  for (index_t t = 0; t < tenants; ++t) {
+    sched::TenantSpec spec;
+    spec.id = t;
+    spec.name = "tenant" + std::to_string(t);
+    scfg.tenants.push_back(spec);
+  }
+  scfg.speculation.depth = args.get_int("spec-depth", 0);
+  scfg.speculation.acceptance = args.get_double("spec-accept", 0.7);
+  if (args.has("draft-model")) {
+    scfg.draft_model =
+        serve::model_by_name(args.get_string("draft-model", ""));
+  }
 
   const int world = scfg.parallel.world_size();
   std::cout << ecfg.model.name << " on "
@@ -62,7 +107,20 @@ int main(int argc, char** argv) {
   }
   std::cout << ", " << scfg.qps << " QPS " << sched::to_string(scfg.shape)
             << ", " << scfg.input_tokens << " in / " << scfg.output_tokens
-            << " out, policy " << sched::to_string(scfg.policy) << "\n\n";
+            << " out, policy " << sched::to_string(scfg.policy);
+  if (!scfg.tenants.empty()) {
+    std::cout << ", " << scfg.tenants.size() << " tenants";
+  }
+  if (scfg.speculation.enabled()) {
+    std::cout << ", speculative depth " << scfg.speculation.depth
+              << " (accept "
+              << format_double(scfg.speculation.acceptance, 2) << ", draft "
+              << (scfg.draft_model.name.empty()
+                      ? serve::tinyllama_1_1b().name  // server_sim's default
+                      : scfg.draft_model.name)
+              << ")";
+  }
+  std::cout << "\n\n";
 
   const std::vector<serve::WeightFormat> formats{
       serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,

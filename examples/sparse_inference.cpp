@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "common.hpp"
 #include "baselines/kernel_model.hpp"
 #include "core/sparse_kernel.hpp"
 #include "eval/metrics.hpp"
@@ -19,6 +20,12 @@
 int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
+  bench::maybe_print_help(
+      args, "sparse_inference",
+      "joint 2:4 pruning + INT4 quantization walkthrough",
+      {{"--k N", "reduction dim (default 256)"},
+       {"--n N", "output dim (default 128)"},
+       {"--m N", "batch (default 16)"}});
   const SimContext ctx = make_sim_context(args);
   const index_t k = args.get_int("k", 256);
   const index_t n = args.get_int("n", 128);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked-looking ``*.md`` file under the repository root
+(skipping build directories and ``.git``) for inline links and verifies
+that relative targets exist on disk. External links (http/https/mailto)
+are ignored — this is a fast, dependency-free, deterministic check meant
+for CI and ``ctest -L docs``, not a crawler.
+
+Anchors are validated only for same-file links (``#section``), by
+slugifying the file's headings the way GitHub does.
+
+Usage:  check_markdown_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = at least one broken link.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".ccache", "node_modules"}
+# [text](target) — skipping images is unnecessary; their paths must exist
+# too. Nested parens in URLs are rare enough to ignore.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_anchors(md_text: str) -> set:
+    anchors = set()
+    for line in md_text.splitlines():
+        m = re.match(r"^#{1,6}\s+(.*)$", line)
+        if not m:
+            continue
+        slug = m.group(1).strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", slug)
+        slug = slug.replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = []
+    md_files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        md_files.extend(
+            os.path.join(dirpath, f) for f in filenames if f.endswith(".md"))
+
+    for path in sorted(md_files):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        anchors = None
+        rel = os.path.relpath(path, root)
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if target.startswith(EXTERNAL):
+                    continue
+                if target.startswith("#"):
+                    if anchors is None:
+                        anchors = heading_anchors(text)
+                    if target[1:].lower() not in anchors:
+                        failures.append(
+                            f"{rel}:{lineno}: missing anchor `{target}`")
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), file_part))
+                if not os.path.exists(resolved):
+                    failures.append(
+                        f"{rel}:{lineno}: broken link `{target}`")
+
+    if failures:
+        print(f"{len(failures)} broken markdown link(s):")
+        for f in failures:
+            print(" ", f)
+        return 1
+    print(f"checked {len(md_files)} markdown files: all intra-repo links "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

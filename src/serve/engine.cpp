@@ -200,6 +200,34 @@ double Engine::decode_step_seconds(index_t batch, double avg_context) const {
   return t;
 }
 
+double Engine::verify_step_seconds(index_t batch, double avg_context,
+                                   index_t depth) const {
+  MARLIN_CHECK(batch >= 1, "batch must be >= 1");
+  MARLIN_CHECK(depth >= 0, "speculation depth must be >= 0");
+  if (depth == 0) return decode_step_seconds(batch, avg_context);
+  const auto ctx_bucket = static_cast<index_t>(avg_context / 64.0);
+  const auto key = std::make_tuple(batch, ctx_bucket, depth);
+  {
+    const std::lock_guard lock(cache_mutex_);
+    if (const auto it = verify_cache_.find(key); it != verify_cache_.end()) {
+      return it->second;
+    }
+  }
+  // The linear layers see every candidate token (batch * (depth + 1) of
+  // them), but each sequence's paged KV is streamed once per layer — the
+  // depth + 1 query positions share the fetch, which is the whole point
+  // of verifying a draft in one batched step instead of depth + 1 decode
+  // steps. Same 64-token context bucketing as decode.
+  const double ctx = static_cast<double>(ctx_bucket) * 64.0 + 32.0;
+  const index_t m = batch * (depth + 1);
+  const double t = linear_layers_seconds(m) +
+                   attention_decode_seconds(batch, ctx) +
+                   allreduce_seconds(m) + cfg_.step_overhead_s;
+  const std::lock_guard lock(cache_mutex_);
+  verify_cache_[key] = t;
+  return t;
+}
+
 double Engine::prefill_seconds(index_t batch, index_t prompt_tokens) const {
   const index_t m = batch * prompt_tokens;
   // Quadratic attention term: ~4 * tokens * ctx * q_heads * head_dim FLOPs

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
 #include "baselines/kernel_model.hpp"
 #include "gpusim/clock.hpp"
@@ -45,6 +46,18 @@ class StepModel {
   [[nodiscard]] virtual double prefill_seconds(index_t batch,
                                                index_t prompt_tokens)
       const = 0;
+  /// Seconds for one speculative-decoding *verification* step: every
+  /// sequence of `batch` scores `1 + depth` candidate tokens (its own
+  /// next token plus `depth` draft proposals) against `avg_context` of
+  /// KV in a single batched forward pass. The linear layers run at
+  /// `batch * (depth + 1)` tokens while the paged KV cache is streamed
+  /// once (the candidates share the sequence's blocks), which is exactly
+  /// why verification is cheaper than `depth + 1` decode steps on a
+  /// memory-bound decode. `depth == 0` must equal `decode_step_seconds`
+  /// bit-for-bit.
+  [[nodiscard]] virtual double verify_step_seconds(index_t batch,
+                                                   double avg_context,
+                                                   index_t depth) const = 0;
   /// Pre-fills the decode memo on the context's pool (purely a warm-up;
   /// cached values must equal on-demand computation bit-for-bit).
   virtual void warm_decode_cache(const SimContext& ctx, index_t max_batch,
@@ -83,6 +96,12 @@ class Engine : public StepModel {
   /// Seconds to prefill `batch` sequences of `prompt_tokens` tokens each.
   [[nodiscard]] double prefill_seconds(index_t batch,
                                        index_t prompt_tokens) const override;
+
+  /// Speculative verification: linear layers at `batch * (depth + 1)`
+  /// tokens, one shared KV stream per layer, all-reduces at the widened
+  /// token count. Memoised like decode.
+  [[nodiscard]] double verify_step_seconds(index_t batch, double avg_context,
+                                           index_t depth) const override;
 
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   /// Quantized+sharded weight bytes resident per GPU.
@@ -137,6 +156,8 @@ class Engine : public StepModel {
   /// decode_step_seconds computes a miss).
   mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<index_t, index_t>, double> decode_cache_;
+  mutable std::map<std::tuple<index_t, index_t, index_t>, double>
+      verify_cache_;
   mutable std::map<index_t, double> linear_cache_;
   mutable std::map<std::pair<index_t, int>, double> block_cache_;
   mutable std::map<std::pair<index_t, int>, double> head_cache_;

@@ -64,10 +64,15 @@ ModelConfig falcon_180b() {
   // Falcon uses parallel attention + a plain 4h MLP and GQA with 8 KV heads.
   return {"Falcon-180B", 14848, 4 * 14848, 80, 232, 8, 64, 65024, false};
 }
+ModelConfig tinyllama_1_1b() {
+  // The standard small Llama-architecture draft model for speculative
+  // decoding against Llama-2 targets (same 32k vocabulary, GQA).
+  return {"TinyLlama-1.1B", 2048, 5632, 22, 32, 4, 64, 32000, true};
+}
 
 std::vector<ModelConfig> all_models() {
-  return {llama2_7b(),  llama2_13b(), llama1_33b(), llama1_65b(),
-          llama2_70b(), yi_34b(),     falcon_180b()};
+  return {llama2_7b(),  llama2_13b(), llama1_33b(),    llama1_65b(),
+          llama2_70b(), yi_34b(),     falcon_180b(),   tinyllama_1_1b()};
 }
 
 ModelConfig model_by_name(const std::string& name) {

@@ -54,6 +54,9 @@ ModelConfig llama1_33b();
 ModelConfig llama1_65b();
 ModelConfig yi_34b();
 ModelConfig falcon_180b();
+/// Small Llama-architecture model — the default speculative-decoding
+/// draft for the Llama-2 family (shared 32k vocabulary).
+ModelConfig tinyllama_1_1b();
 
 ModelConfig model_by_name(const std::string& name);
 std::vector<ModelConfig> all_models();

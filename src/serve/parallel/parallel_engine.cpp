@@ -112,6 +112,50 @@ double ParallelEngine::decode_step_seconds(index_t batch,
   return t;
 }
 
+double ParallelEngine::verify_step_seconds(index_t batch, double avg_context,
+                                           index_t depth) const {
+  MARLIN_CHECK(batch >= 1, "batch must be >= 1");
+  MARLIN_CHECK(depth >= 0, "speculation depth must be >= 0");
+  if (cfg_.trivial()) {
+    return engine_.verify_step_seconds(batch, avg_context, depth);
+  }
+  if (depth == 0) return decode_step_seconds(batch, avg_context);
+  const auto bucket = static_cast<index_t>(avg_context / 64.0);
+  const auto key = std::make_tuple(batch, bucket, depth);
+  {
+    const std::lock_guard lock(cache_mutex_);
+    if (const auto it = verify_cache_.find(key); it != verify_cache_.end()) {
+      return it->second;
+    }
+  }
+  const double ctx = static_cast<double>(bucket) * 64.0 + 32.0;
+  const auto mb = plan_microbatches(cfg_, batch);
+  const index_t mb_tokens = mb.seqs * (depth + 1);
+
+  // Same composition as a decode step, with each stage verifying the
+  // widened candidate batch: compute and TP all-reduces price
+  // (depth + 1)x the tokens, activations on the stage boundaries carry
+  // every candidate.
+  double stage_max = 0.0;
+  for (const Worker& w : workers_) {
+    const double t = w.verify_compute_seconds(mb.seqs, ctx, depth) +
+                     w.tp_comm_seconds(mb_tokens);
+    stage_max = std::max(stage_max, t);
+  }
+  const int pp = cfg_.pipeline_parallel;
+  const double activation_bytes =
+      static_cast<double>(mb_tokens) *
+      static_cast<double>(engine_.config().model.hidden) * 2.0;
+  const double send = pp > 1 ? static_cast<double>(pp - 1) *
+                                   link_.transfer_seconds(activation_bytes)
+                             : 0.0;
+  const double t = static_cast<double>(mb.count + pp - 1) * stage_max + send +
+                   engine_.config().step_overhead_s;
+  const std::lock_guard lock(cache_mutex_);
+  verify_cache_[key] = t;
+  return t;
+}
+
 double ParallelEngine::prefill_seconds(index_t batch,
                                        index_t prompt_tokens) const {
   if (cfg_.trivial()) return engine_.prefill_seconds(batch, prompt_tokens);

@@ -28,6 +28,7 @@
 
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -58,6 +59,13 @@ class ParallelEngine final : public StepModel {
                                            double avg_context) const override;
   [[nodiscard]] double prefill_seconds(index_t batch,
                                        index_t prompt_tokens) const override;
+  /// Speculative verification across the rank grid: the whole draft batch
+  /// is verified in one pipelined step — per-microbatch stage time is the
+  /// max over ranks of `Worker::verify_compute_seconds` plus the TP
+  /// all-reduce at the widened `(depth + 1)x` token count, with the usual
+  /// pipeline fill/drain and activation sends. Memoised like decode.
+  [[nodiscard]] double verify_step_seconds(index_t batch, double avg_context,
+                                           index_t depth) const override;
   void warm_decode_cache(const SimContext& ctx, index_t max_batch,
                          double max_context) const override;
 
@@ -89,6 +97,8 @@ class ParallelEngine final : public StepModel {
   Interconnect link_;
   mutable std::mutex cache_mutex_;
   mutable std::map<std::pair<index_t, index_t>, double> decode_cache_;
+  mutable std::map<std::tuple<index_t, index_t, index_t>, double>
+      verify_cache_;
 };
 
 }  // namespace marlin::serve::parallel

@@ -99,6 +99,20 @@ double Worker::prefill_compute_seconds(index_t mb_tokens,
   return t;
 }
 
+double Worker::verify_compute_seconds(index_t seqs, double avg_context,
+                                      index_t depth) const {
+  const index_t m = seqs * (depth + 1);
+  const double layers = static_cast<double>(num_layers_);
+  double t = layers * engine_->block_linear_seconds(m,
+                                                    cfg_.tensor_parallel) +
+             layers * engine_->attention_layer_seconds(seqs, avg_context,
+                                                       cfg_.tensor_parallel);
+  if (has_lm_head()) {
+    t += engine_->lm_head_seconds(m, cfg_.tensor_parallel);
+  }
+  return t;
+}
+
 double Worker::tp_comm_seconds(index_t tokens) const {
   if (cfg_.tensor_parallel == 1) return 0.0;
   // Interconnect is a pure projection of the DeviceSpec (the single

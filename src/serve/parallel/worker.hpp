@@ -69,6 +69,13 @@ class Worker {
   /// tokens of `prompt_tokens`-long prompts on this rank.
   [[nodiscard]] double prefill_compute_seconds(index_t mb_tokens,
                                                index_t prompt_tokens) const;
+  /// Compute seconds of one speculative *verification* microbatch of
+  /// `seqs` sequences, each scoring `1 + depth` candidate tokens: linear
+  /// layers (and LM head, where owned) run at `seqs * (depth + 1)` tokens
+  /// while each sequence's paged KV is streamed once per layer.
+  [[nodiscard]] double verify_compute_seconds(index_t seqs,
+                                              double avg_context,
+                                              index_t depth) const;
   /// Tensor-parallel all-reduce seconds this rank pays per microbatch of
   /// `tokens` (two ring all-reduces per owned transformer block).
   [[nodiscard]] double tp_comm_seconds(index_t tokens) const;

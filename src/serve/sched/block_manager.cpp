@@ -21,6 +21,14 @@ BlockManager::BlockManager(BlockManagerConfig cfg) : cfg_(cfg) {
     // Stack of ids; popping from the back hands out 0, 1, 2, ... first.
     for (index_t i = cfg_.num_blocks - 1; i >= 0; --i) free_list_.push_back(i);
   }
+  for (const auto& [tenant, quota] : cfg_.tenant_quotas) {
+    MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
+    MARLIN_CHECK(quota >= 0, "tenant " << tenant
+                                       << " quota must be >= 0 blocks");
+    MARLIN_CHECK(!quotas_.contains(tenant),
+                 "duplicate quota for tenant " << tenant);
+    quotas_[tenant] = quota;
+  }
 }
 
 index_t BlockManager::free_blocks() const {
@@ -41,8 +49,9 @@ bool BlockManager::can_allocate(index_t n) const {
   return unlimited() || n <= free_blocks();
 }
 
-std::vector<index_t> BlockManager::allocate(index_t n) {
+std::vector<index_t> BlockManager::allocate(index_t n, index_t tenant) {
   MARLIN_CHECK(n >= 0, "negative allocation");
+  MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
   MARLIN_CHECK(can_allocate(n), "KV budget exhausted: need "
                                     << n << " blocks, " << free_blocks()
                                     << " free of " << cfg_.num_blocks);
@@ -63,11 +72,16 @@ std::vector<index_t> BlockManager::allocate(index_t n) {
     ids.push_back(id);
   }
   used_ += n;
+  tenant_used_[tenant] += n;
   peak_used_ = std::max(peak_used_, used_);
   return ids;
 }
 
-void BlockManager::free(std::vector<index_t>& ids) {
+void BlockManager::free(std::vector<index_t>& ids, index_t tenant) {
+  const auto n = static_cast<index_t>(ids.size());
+  MARLIN_CHECK(tenant_used_blocks(tenant) >= n,
+               "tenant " << tenant << " returns " << n << " blocks but holds "
+                         << tenant_used_blocks(tenant));
   for (const index_t id : ids) {
     MARLIN_CHECK(id >= 0 &&
                      id < static_cast<index_t>(allocated_.size()) &&
@@ -76,18 +90,49 @@ void BlockManager::free(std::vector<index_t>& ids) {
     allocated_[static_cast<std::size_t>(id)] = false;
     free_list_.push_back(id);
   }
-  used_ -= static_cast<index_t>(ids.size());
+  used_ -= n;
+  tenant_used_[tenant] -= n;
   ids.clear();
 }
 
-bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens) {
+bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens,
+                           index_t tenant) {
   const index_t need =
       blocks_for_tokens(tokens) - static_cast<index_t>(held.size());
   if (need <= 0) return true;
   if (!can_allocate(need)) return false;
-  const auto fresh = allocate(need);
+  const auto fresh = allocate(need, tenant);
   held.insert(held.end(), fresh.begin(), fresh.end());
   return true;
+}
+
+index_t BlockManager::tenant_used_blocks(index_t tenant) const {
+  const auto it = tenant_used_.find(tenant);
+  return it == tenant_used_.end() ? 0 : it->second;
+}
+
+bool BlockManager::has_quota(index_t tenant) const {
+  return quotas_.contains(tenant);
+}
+
+index_t BlockManager::effective_quota(index_t tenant) const {
+  const auto it = quotas_.find(tenant);
+  if (it == quotas_.end()) return kNoQuota;
+  // A quota cannot promise more than the cache holds (quota > budget is
+  // legal configuration but clamps here); unlimited caches never clamp.
+  return unlimited() ? it->second : std::min(it->second, cfg_.num_blocks);
+}
+
+index_t BlockManager::over_quota_blocks(index_t tenant) const {
+  const index_t quota = effective_quota(tenant);
+  if (quota == kNoQuota) return 0;
+  return std::max<index_t>(0, tenant_used_blocks(tenant) - quota);
+}
+
+bool BlockManager::within_quota(index_t tenant, index_t extra) const {
+  const index_t quota = effective_quota(tenant);
+  if (quota == kNoQuota) return true;
+  return tenant_used_blocks(tenant) + extra <= quota;
 }
 
 index_t kv_blocks_that_fit(double hbm_bytes, double weight_bytes,

@@ -16,11 +16,21 @@
 // The real budget comes from the device: HBM capacity minus resident
 // weights minus an activation reserve, divided by the per-token KV bytes
 // of the model (see `derive_kv_block_budget`).
+//
+// Multi-tenant quotas: every allocation is attributed to a tenant, and a
+// tenant may carry a *soft* block quota. Quotas never make an allocation
+// fail while free blocks exist — a tenant past its quota is simply
+// *borrowing*, and the scheduler's preemption policy reclaims from the
+// most over-quota tenant first when the cache runs dry. A quota larger
+// than the total budget is effectively capped by it; an explicit quota of
+// 0 marks a borrow-only tenant (any held block counts as over-quota).
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/sched/tenant.hpp"
 #include "util/matrix.hpp"
 
 namespace marlin::serve::sched {
@@ -30,6 +40,9 @@ struct BlockManagerConfig {
   index_t num_blocks = 0;   // 0 = unlimited
   /// Fraction of the budget that must stay free after an admission.
   double watermark = 0.01;
+  /// Soft per-tenant block quotas: `{tenant id, blocks}`. Tenants absent
+  /// from the list are unquoted. See the header comment for semantics.
+  std::vector<std::pair<index_t, index_t>> tenant_quotas;
 };
 
 class BlockManager {
@@ -54,17 +67,37 @@ class BlockManager {
   /// Plain capacity check (decode growth — may consume the reserve).
   [[nodiscard]] bool can_allocate(index_t n) const;
 
-  /// Hands out `n` block ids; throws if the budget cannot cover them.
-  [[nodiscard]] std::vector<index_t> allocate(index_t n);
+  /// Hands out `n` block ids to `tenant`; throws if the budget cannot
+  /// cover them. Soft quotas never fail an allocation (see header).
+  [[nodiscard]] std::vector<index_t> allocate(index_t n, index_t tenant = 0);
 
-  /// Returns blocks to the free list and clears `ids`. Freeing a block
-  /// that is not currently allocated throws (double-free guard).
-  void free(std::vector<index_t>& ids);
+  /// Returns `tenant`'s blocks to the free list and clears `ids`. Freeing
+  /// a block that is not currently allocated throws (double-free guard),
+  /// as does returning more blocks than the tenant holds.
+  void free(std::vector<index_t>& ids, index_t tenant = 0);
 
   /// Grows `held` so it covers `tokens` tokens, allocating only the
-  /// missing tail blocks. Returns false (holdings untouched) if the
-  /// budget cannot cover the growth.
-  [[nodiscard]] bool grow_to(std::vector<index_t>& held, index_t tokens);
+  /// missing tail blocks on `tenant`'s account. Returns false (holdings
+  /// untouched) if the budget cannot cover the growth.
+  [[nodiscard]] bool grow_to(std::vector<index_t>& held, index_t tokens,
+                             index_t tenant = 0);
+
+  // ---- per-tenant quota accounting -------------------------------------
+
+  /// Blocks `tenant` currently holds.
+  [[nodiscard]] index_t tenant_used_blocks(index_t tenant) const;
+  /// True when the tenant carries a configured quota.
+  [[nodiscard]] bool has_quota(index_t tenant) const;
+  /// The tenant's *effective* quota: the configured value capped by the
+  /// total budget (a quota cannot promise more than the cache holds).
+  /// Returns kNoQuota for unquoted tenants.
+  [[nodiscard]] index_t effective_quota(index_t tenant) const;
+  /// Blocks the tenant holds beyond its effective quota (0 for unquoted
+  /// or within-quota tenants) — the scheduler's reclaim preference key.
+  [[nodiscard]] index_t over_quota_blocks(index_t tenant) const;
+  /// Would `tenant` stay within its quota after `extra` more blocks?
+  /// Unquoted tenants always fit.
+  [[nodiscard]] bool within_quota(index_t tenant, index_t extra) const;
 
  private:
   BlockManagerConfig cfg_;
@@ -74,6 +107,8 @@ class BlockManager {
   std::vector<index_t> free_list_;       // bounded mode: ids ready to reuse
   std::vector<bool> allocated_;          // per-id liveness (double-free guard)
   index_t next_fresh_ = 0;               // unlimited mode: next unseen id
+  std::map<index_t, index_t> quotas_;    // tenant -> configured soft quota
+  std::map<index_t, index_t> tenant_used_;  // tenant -> live blocks
 };
 
 /// Shared budget arithmetic: paged KV blocks of `block_size` tokens that

@@ -39,11 +39,12 @@ bool transition_allowed(RequestState from, RequestState to) {
 }
 
 Request::Request(index_t id_, double arrival_s_, index_t prompt_tokens_,
-                 index_t output_tokens_)
+                 index_t output_tokens_, index_t tenant_id_)
     : id(id_), arrival_s(arrival_s_), prompt_tokens(prompt_tokens_),
-      output_tokens(output_tokens_) {
+      output_tokens(output_tokens_), tenant_id(tenant_id_) {
   MARLIN_CHECK(prompt_tokens >= 1, "request needs at least one prompt token");
   MARLIN_CHECK(output_tokens >= 1, "request needs at least one output token");
+  MARLIN_CHECK(tenant_id >= 0, "tenant id must be >= 0");
 }
 
 void Request::set_state(RequestState next) {

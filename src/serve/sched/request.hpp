@@ -32,12 +32,14 @@ bool transition_allowed(RequestState from, RequestState to);
 /// One client request (single sequence — no beam / parallel sampling yet).
 struct Request {
   Request(index_t id, double arrival_s, index_t prompt_tokens,
-          index_t output_tokens);
+          index_t output_tokens, index_t tenant_id = 0);
 
   index_t id = 0;
   double arrival_s = 0;
   index_t prompt_tokens = 0;
   index_t output_tokens = 0;  // total output target incl. the prefill token
+  /// Owning tenant (traffic class); 0 is the default single tenant.
+  index_t tenant_id = 0;
 
   RequestState state = RequestState::kQueued;
   /// Output tokens emitted so far (the prefill emits token 1).
@@ -50,6 +52,9 @@ struct Request {
   double first_token_s = -1;
   double finish_s = -1;
   index_t preemptions = 0;
+  /// Speculative-decoding fractional-token accumulator: expected accepted
+  /// tokens not yet committed (see Scheduler's speculation docs).
+  double spec_credit = 0;
   /// True when the request could never fit in the KV budget and was
   /// refused outright (state kFinished, no tokens produced).
   bool rejected = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <map>
 
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -17,26 +18,94 @@ const char* to_string(SchedPolicy p) {
       return "sjf";
     case SchedPolicy::kMaxUtilization:
       return "max-util";
+    case SchedPolicy::kWeightedFair:
+      return "wfq";
   }
   return "?";
 }
 
 SchedPolicy policy_by_name(const std::string& name) {
   for (const auto p : {SchedPolicy::kFcfs, SchedPolicy::kShortestJob,
-                       SchedPolicy::kMaxUtilization}) {
+                       SchedPolicy::kMaxUtilization,
+                       SchedPolicy::kWeightedFair}) {
     if (name == to_string(p)) return p;
   }
   MARLIN_CHECK(false, "unknown scheduling policy `"
-                          << name << "`; known: fcfs, sjf, max-util");
+                          << name << "`; known: fcfs, sjf, max-util, wfq");
   return SchedPolicy::kFcfs;  // unreachable
+}
+
+double SpeculationConfig::expected_tokens_per_round() const {
+  // Accepted draft prefix plus the target model's own token:
+  // sum_{i=0..depth} acceptance^i. Summed termwise (depth is small) so
+  // the value is bit-identical everywhere, acceptance == 1 included.
+  double expected = 0.0;
+  double term = 1.0;
+  for (index_t i = 0; i <= depth; ++i) {
+    expected += term;
+    term *= acceptance;
+  }
+  return expected;
+}
+
+void SpeculationConfig::validate() const {
+  MARLIN_CHECK(depth >= 0, "speculation depth must be >= 0");
+  MARLIN_CHECK(acceptance >= 0.0 && acceptance <= 1.0,
+               "draft acceptance must be in [0, 1] (got " << acceptance
+                                                          << ")");
+}
+
+namespace {
+
+// One request's latency metrics — the single definition both the global
+// metrics tail in Scheduler::run and the per-tenant split report from.
+double request_ttft_ms(const Request& r) {
+  return (r.first_token_s - r.arrival_s) * 1e3;
+}
+double request_tpot_ms(const Request& r) {
+  return (r.finish_s - r.first_token_s) /
+         static_cast<double>(std::max<index_t>(1, r.output_tokens - 1)) * 1e3;
+}
+
+}  // namespace
+
+std::vector<TenantMetrics> per_tenant_metrics(const SchedStats& stats) {
+  std::map<index_t, TenantMetrics> by_tenant;
+  std::map<index_t, std::vector<double>> ttfts, tpots;
+  for (const Request& r : stats.requests) {
+    TenantMetrics& t = by_tenant[r.tenant_id];
+    t.tenant = r.tenant_id;
+    t.preemptions += r.preemptions;
+    if (r.rejected) {
+      ++t.rejected;
+      continue;
+    }
+    if (r.finish_s < 0) continue;
+    ++t.completed;
+    t.output_tokens += r.generated;
+    ttfts[r.tenant_id].push_back(request_ttft_ms(r));
+    tpots[r.tenant_id].push_back(request_tpot_ms(r));
+  }
+  std::vector<TenantMetrics> out;
+  out.reserve(by_tenant.size());
+  for (auto& [tenant, metrics] : by_tenant) {
+    if (!ttfts[tenant].empty()) {
+      metrics.mean_ttft_ms = mean(ttfts[tenant]);
+      metrics.mean_tpot_ms = mean(tpots[tenant]);
+    }
+    out.push_back(metrics);
+  }
+  return out;
 }
 
 namespace {
 
 /// Admission priority key; smaller admits first. FCFS keeps queue order.
+/// (kWeightedFair uses the separate double-valued WFQ key in run().)
 index_t policy_key(SchedPolicy policy, const Request& r) {
   switch (policy) {
     case SchedPolicy::kFcfs:
+    case SchedPolicy::kWeightedFair:
       return 0;
     case SchedPolicy::kShortestJob:
       // Remaining service: prefill work plus the decode tokens still owed.
@@ -52,28 +121,83 @@ index_t policy_key(SchedPolicy policy, const Request& r) {
 
 }  // namespace
 
-Scheduler::Scheduler(const StepModel& model, SchedulerConfig cfg)
-    : model_(model), cfg_(cfg) {
+Scheduler::Scheduler(const StepModel& model, SchedulerConfig cfg,
+                     const StepModel* draft_model)
+    : model_(model), draft_model_(draft_model), cfg_(std::move(cfg)) {
   MARLIN_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
   MARLIN_CHECK(cfg_.prefill_chunk_tokens >= 0, "negative prefill chunk");
+  for (std::size_t i = 0; i < cfg_.tenants.size(); ++i) {
+    cfg_.tenants[i].validate();
+    for (std::size_t j = 0; j < i; ++j) {
+      MARLIN_CHECK(cfg_.tenants[i].id != cfg_.tenants[j].id,
+                   "duplicate tenant id " << cfg_.tenants[i].id);
+    }
+  }
+  cfg_.speculation.validate();
+  MARLIN_CHECK(!cfg_.speculation.enabled() || draft_model_ != nullptr,
+               "speculative decoding needs a draft StepModel");
+  if (cfg_.policy == SchedPolicy::kWeightedFair) {
+    MARLIN_CHECK(cfg_.wfq_aging_tokens_per_s > 0,
+                 "WFQ needs a positive aging rate (starvation-proofness)");
+    MARLIN_CHECK(cfg_.wfq_tier_penalty_tokens >= 0,
+                 "negative WFQ tier penalty");
+  }
+  // Mirror the tenant specs' soft KV quotas into the block manager unless
+  // quotas were configured there explicitly.
+  if (cfg_.blocks.tenant_quotas.empty()) {
+    for (const TenantSpec& t : cfg_.tenants) {
+      if (t.kv_block_quota != kNoQuota) {
+        cfg_.blocks.tenant_quotas.emplace_back(t.id, t.kv_block_quota);
+      }
+    }
+  }
 }
 
 SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
                           const SimContext& ctx) const {
   SchedStats stats;
   BlockManager bm(cfg_.blocks);
+  const bool wfq = cfg_.policy == SchedPolicy::kWeightedFair;
+  const SpeculationConfig& spec = cfg_.speculation;
+  const double spec_expected =
+      spec.enabled() ? spec.expected_tokens_per_round() : 1.0;
 
   std::vector<Request>& requests = stats.requests;
   requests.reserve(trace.size());
   index_t max_context = 1;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     requests.emplace_back(static_cast<index_t>(i), trace[i].arrival_s,
-                          trace[i].input_tokens, trace[i].output_tokens);
+                          trace[i].input_tokens, trace[i].output_tokens,
+                          trace[i].tenant_id);
     max_context =
         std::max(max_context, trace[i].input_tokens + trace[i].output_tokens);
   }
   model_.warm_decode_cache(ctx, cfg_.max_batch,
                             static_cast<double>(max_context));
+  if (draft_model_ != nullptr) {
+    draft_model_->warm_decode_cache(ctx, cfg_.max_batch,
+                                    static_cast<double>(max_context));
+  }
+
+  // WFQ state: one resolved spec and one weighted service-debt counter
+  // (tokens served / weight) per tenant appearing in the trace.
+  std::map<index_t, TenantSpec> tenant_specs;
+  std::map<index_t, double> service_debt;
+  for (const Request& r : requests) {
+    if (!tenant_specs.contains(r.tenant_id)) {
+      tenant_specs.emplace(r.tenant_id,
+                           tenant_spec_or_default(cfg_.tenants, r.tenant_id));
+      service_debt[r.tenant_id] = 0.0;
+    }
+  }
+  const auto spec_of = [&](index_t tenant) -> const TenantSpec& {
+    return tenant_specs.find(tenant)->second;
+  };
+  const auto add_service = [&](index_t tenant, index_t tokens) {
+    if (!wfq) return;
+    service_debt[tenant] +=
+        static_cast<double>(tokens) / spec_of(tenant).weight;
+  };
 
   std::deque<std::size_t> queue;
   std::vector<std::size_t> prefilling;  // admission order, this flight
@@ -83,6 +207,17 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
   double now = 0.0;
   double batch_weighted = 0.0;
   double decode_time_total = 0.0;
+
+  // WFQ admission key; smaller admits first. Weighted service debt plus a
+  // fixed penalty per priority tier, minus a linear aging credit: a
+  // waiting request's key falls without bound while everyone else's only
+  // rises with service, so no tier or debt can starve it.
+  const auto wfq_key = [&](const Request& r) {
+    const TenantSpec& t = spec_of(r.tenant_id);
+    return service_debt.find(r.tenant_id)->second +
+           static_cast<double>(t.tier) * cfg_.wfq_tier_penalty_tokens -
+           cfg_.wfq_aging_tokens_per_s * (now - r.arrival_s);
+  };
 
   const auto admit_arrivals = [&](double upto) {
     while (next_arrival < requests.size() &&
@@ -102,16 +237,119 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
                bm.total_blocks();
   };
 
-  const auto preempt_last_running = [&] {
-    const std::size_t victim = running.back();
-    running.pop_back();
+  const auto preempt_running_at = [&](std::size_t pos) {
+    MARLIN_ASSERT(pos < running.size());
+    const std::size_t victim = running[pos];
+    running.erase(running.begin() + static_cast<std::ptrdiff_t>(pos));
     Request& v = requests[victim];
     v.set_state(RequestState::kPreempted);
-    bm.free(v.blocks);
+    bm.free(v.blocks, v.tenant_id);
     v.prefilled = 0;
     ++v.preemptions;
     ++stats.preemptions;
     queue.push_front(victim);
+  };
+
+  // The most over-quota tenant's last-admitted running sequence: the
+  // single victim-preference rule shared by decode-growth preemption
+  // (live BlockManager state) and admission reclaim (snapshot planning).
+  // Skips `exclude_tenant`'s sequences (-1 excludes nobody — tenant ids
+  // are >= 0) and positions flagged in `skip` (may be null); `over_fn`
+  // maps a tenant to its over-quota block count. Returns running.size()
+  // when every considered tenant is within quota.
+  const auto most_over_quota_victim =
+      [&](index_t exclude_tenant, const auto& over_fn,
+          const std::vector<bool>* skip) -> std::size_t {
+    std::size_t best = running.size();
+    index_t worst_over = 0;
+    for (std::size_t i = running.size(); i-- > 0;) {
+      const Request& v = requests[running[i]];
+      if ((skip != nullptr && (*skip)[i]) || v.tenant_id == exclude_tenant) {
+        continue;
+      }
+      const index_t over = over_fn(v.tenant_id);
+      if (over > worst_over) {
+        worst_over = over;
+        best = i;
+      }
+    }
+    return best;
+  };
+  const auto live_over_quota = [&](index_t tenant) {
+    return bm.over_quota_blocks(tenant);
+  };
+
+  // Decode-growth victim: under WFQ, the last-admitted sequence of the
+  // most over-quota tenant (borrowers give their blocks back first); the
+  // last-admitted sequence otherwise — and under WFQ when every tenant is
+  // within quota, which reproduces the legacy rule.
+  const auto choose_victim_pos = [&]() -> std::size_t {
+    MARLIN_ASSERT(!running.empty());
+    if (wfq) {
+      const std::size_t best =
+          most_over_quota_victim(-1, live_over_quota, nullptr);
+      if (best < running.size()) return best;
+    }
+    return running.size() - 1;
+  };
+
+  // WFQ borrow-and-reclaim: when a within-quota tenant's admission is
+  // blocked, preempt over-quota borrowers (other tenants, last-admitted
+  // first, most over-quota tenant first) until the candidate fits. A
+  // quota is thus a capacity *guarantee*, while idle blocks stay
+  // lendable. The greedy victim selection is planned on a snapshot
+  // first and only executed when it fully covers the admission —
+  // otherwise nobody is preempted, because a partial reclaim would
+  // destroy victims' KV (recompute on re-admission) without admitting
+  // anyone.
+  const auto reclaim_for = [&](const Request& r) {
+    const index_t needed = bm.blocks_for_tokens(r.prefill_target());
+    if (!bm.within_quota(r.tenant_id, needed)) {
+      return;  // borrowers wait for genuinely free blocks
+    }
+    // Snapshot of the quantities the greedy loop mutates.
+    index_t free = bm.free_blocks();
+    std::map<index_t, index_t> used;
+    for (const std::size_t id : running) {
+      const index_t tenant = requests[id].tenant_id;
+      if (!used.contains(tenant)) used[tenant] = bm.tenant_used_blocks(tenant);
+    }
+    const auto snapshot_over_quota = [&](index_t tenant) {
+      const index_t quota = bm.effective_quota(tenant);
+      if (quota == kNoQuota) return index_t{0};
+      return std::max<index_t>(0, used.find(tenant)->second - quota);
+    };
+    std::vector<bool> planned(running.size(), false);
+    std::vector<std::size_t> plan;  // victim request ids, greedy order
+    while (needed + bm.watermark_blocks() > free) {
+      const std::size_t best =
+          most_over_quota_victim(r.tenant_id, snapshot_over_quota, &planned);
+      if (best >= running.size()) return;  // infeasible: preempt nobody
+      planned[best] = true;
+      plan.push_back(running[best]);
+      const auto held =
+          static_cast<index_t>(requests[running[best]].blocks.size());
+      free += held;
+      used[requests[running[best]].tenant_id] -= held;
+    }
+    for (const std::size_t victim_id : plan) {
+      const auto pos = static_cast<std::size_t>(
+          std::find(running.begin(), running.end(), victim_id) -
+          running.begin());
+      preempt_running_at(pos);
+    }
+  };
+
+  // Committed tokens of one speculative propose-then-verify round for `r`:
+  // the fractional accumulator keeps the long-run average at
+  // `spec_expected` while every round commits a whole number of tokens
+  // (at least the target model's own token, at most what is still owed).
+  const auto commit_tokens = [&](const Request& r) -> index_t {
+    if (!spec.enabled()) return 1;
+    const index_t remaining = r.output_tokens - r.generated;
+    const auto c =
+        static_cast<index_t>(std::floor(r.spec_credit + spec_expected));
+    return std::clamp<index_t>(c, 1, std::max<index_t>(1, remaining));
   };
 
   while (next_arrival < requests.size() || !queue.empty() ||
@@ -127,7 +365,21 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
     // Admission in policy order, bounded by batch cap and KV watermark.
     if (!queue.empty() && active() < static_cast<std::size_t>(cfg_.max_batch)) {
       std::vector<std::size_t> order(queue.begin(), queue.end());
-      if (cfg_.policy != SchedPolicy::kFcfs) {
+      if (wfq) {
+        // Keys are loop-invariant during the sort; compute each once
+        // instead of per comparison (stable on ties, like the other
+        // policies).
+        std::vector<std::pair<double, std::size_t>> keyed;
+        keyed.reserve(order.size());
+        for (const std::size_t id : order) {
+          keyed.emplace_back(wfq_key(requests[id]), id);
+        }
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first < b.first;
+                         });
+        for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+      } else if (cfg_.policy != SchedPolicy::kFcfs) {
         std::stable_sort(order.begin(), order.end(),
                          [&](std::size_t a, std::size_t b) {
                            return policy_key(cfg_.policy, requests[a]) <
@@ -145,13 +397,17 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
           taken[id] = true;
           continue;
         }
+        if (wfq && !bm.can_admit(r.prefill_target())) {
+          reclaim_for(r);
+        }
         if (!bm.can_admit(r.prefill_target())) {
-          // FCFS and SJF respect head-of-line order; max-util keeps
-          // scanning for anything that still fits.
-          if (cfg_.policy == SchedPolicy::kMaxUtilization) continue;
+          // FCFS and SJF respect head-of-line order; max-util and WFQ
+          // keep scanning for anything that still fits.
+          if (cfg_.policy == SchedPolicy::kMaxUtilization || wfq) continue;
           break;
         }
-        r.blocks = bm.allocate(bm.blocks_for_tokens(r.prefill_target()));
+        r.blocks = bm.allocate(bm.blocks_for_tokens(r.prefill_target()),
+                               r.tenant_id);
         r.set_state(RequestState::kPrefilling);
         r.prefilled = 0;
         prefilling.push_back(id);
@@ -188,6 +444,7 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
           chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
         }
         r.prefilled += chunk;
+        add_service(r.tenant_id, chunk);
         if (r.prefilled < r.prefill_target()) {
           still_prefilling.push_back(id);
           continue;
@@ -203,30 +460,46 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
 
     if (running.empty()) continue;
 
-    // Grow every running sequence's KV for the token this step writes;
-    // preempt from the back (lowest priority) when the budget runs dry.
+    // Grow every running sequence's KV for the tokens this step commits
+    // (one for plain decode, the speculative commit otherwise); preempt
+    // the policy's victim when the budget runs dry.
     for (std::size_t i = 0; i < running.size();) {
       Request& r = requests[running[i]];
       bool preempted_self = false;
-      while (!bm.grow_to(r.blocks, r.prompt_tokens + r.generated)) {
+      while (!bm.grow_to(r.blocks,
+                         r.prompt_tokens + r.generated + commit_tokens(r) - 1,
+                         r.tenant_id)) {
         MARLIN_ASSERT(!running.empty());
-        preempted_self = running.back() == running[i];
-        preempt_last_running();
+        const std::size_t victim = choose_victim_pos();
+        preempted_self = victim == i;
+        preempt_running_at(victim);
         if (preempted_self) break;
+        if (victim < i) --i;  // `r` shifted one slot left; keep growing it
       }
       if (!preempted_self) ++i;
     }
     if (running.empty()) continue;
 
-    // One decode step for all running sequences.
+    // One decode step for all running sequences: a plain one-token step,
+    // or a speculative round (draft proposes `depth` tokens sequentially,
+    // the target verifies every candidate in one batched step).
     double ctx_sum = 0.0;
     for (const std::size_t id : running) {
       ctx_sum += static_cast<double>(requests[id].prompt_tokens) +
                  static_cast<double>(requests[id].generated);
     }
     const auto batch = static_cast<index_t>(running.size());
-    const double t_step = model_.decode_step_seconds(
-        batch, ctx_sum / static_cast<double>(batch));
+    const double avg_ctx = ctx_sum / static_cast<double>(batch);
+    double t_step;
+    if (spec.enabled()) {
+      t_step = static_cast<double>(spec.depth) *
+                   draft_model_->decode_step_seconds(batch, avg_ctx) +
+               model_.verify_step_seconds(batch, avg_ctx, spec.depth);
+      ++stats.spec_rounds;
+      stats.spec_draft_tokens += spec.depth * batch;
+    } else {
+      t_step = model_.decode_step_seconds(batch, avg_ctx);
+    }
     now += t_step;
     batch_weighted += static_cast<double>(batch) * t_step;
     decode_time_total += t_step;
@@ -235,11 +508,18 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
     std::vector<std::size_t> still_running;
     for (const std::size_t id : running) {
       Request& r = requests[id];
-      ++r.generated;
+      const index_t committed = commit_tokens(r);
+      if (spec.enabled()) {
+        r.spec_credit = r.spec_credit + spec_expected -
+                        static_cast<double>(committed);
+        stats.spec_committed_tokens += committed;
+      }
+      r.generated += committed;
+      add_service(r.tenant_id, committed);
       if (r.generated >= r.output_tokens) {
         r.finish_s = now;
         r.set_state(RequestState::kFinished);
-        bm.free(r.blocks);
+        bm.free(r.blocks, r.tenant_id);
       } else {
         still_running.push_back(id);
       }
@@ -252,11 +532,8 @@ SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
   for (const Request& r : requests) {
     if (r.finish_s < 0) continue;
     ++m.completed;
-    ttfts.push_back((r.first_token_s - r.arrival_s) * 1e3);
-    tpots.push_back((r.finish_s - r.first_token_s) /
-                    static_cast<double>(std::max<index_t>(
-                        1, r.output_tokens - 1)) *
-                    1e3);
+    ttfts.push_back(request_ttft_ms(r));
+    tpots.push_back(request_tpot_ms(r));
   }
   if (!tpots.empty()) {
     m.mean_tpot_ms = mean(tpots);

@@ -25,11 +25,30 @@
 // bit-identical-across-threads contract); parallelism comes from warming
 // the engine's decode memo on the SimContext pool before the loop runs.
 
+// Multi-tenant weighted fair queuing (`--policy wfq`): requests carry a
+// tenant id; admission orders the queue by each tenant's weighted service
+// debt (tokens served / WFQ weight) plus a fixed priority-tier penalty,
+// minus a linear aging credit — a waiting request's key falls without
+// bound, so no tier or debt can starve it. Per-tenant KV quotas are soft:
+// tenants borrow free blocks past their quota, and both admission and
+// decode-growth preemption reclaim from the most over-quota tenant first.
+//
+// Speculative decoding (`SpeculationConfig`): a cheap draft model proposes
+// `depth` tokens per round; the target model verifies all candidates in
+// one batched step (`StepModel::verify_step_seconds`). Accepted-token
+// counts follow the expected value of i.i.d. per-token acceptance through
+// a per-request fractional accumulator, so a round commits a
+// deterministic integer number of tokens — results stay bit-identical at
+// every thread count. Composes with chunked prefill, preemption (a victim
+// keeps its accumulator; its committed tokens are recomputed like any
+// others), and the tensor/pipeline-parallel ParallelEngine.
+
 #include <vector>
 
 #include "serve/engine.hpp"
 #include "serve/sched/block_manager.hpp"
 #include "serve/sched/request.hpp"
+#include "serve/sched/tenant.hpp"
 #include "serve/sched/workload.hpp"
 #include "util/sim_context.hpp"
 
@@ -54,11 +73,28 @@ enum class SchedPolicy {
   kShortestJob,     // least remaining work (prompt + remaining output) first
   kMaxUtilization,  // smallest lifetime KV footprint first, skipping
                     // non-fitting requests so admission packs the budget
+  kWeightedFair,    // multi-tenant weighted fair queuing with priority
+                    // tiers, starvation-proof aging and soft KV quotas
 };
 
 const char* to_string(SchedPolicy p);
-/// Parses "fcfs" / "sjf" / "max-util"; throws on anything else.
+/// Parses "fcfs" / "sjf" / "max-util" / "wfq"; throws on anything else.
 SchedPolicy policy_by_name(const std::string& name);
+
+/// Draft-model speculative decoding knobs. `depth == 0` disables
+/// speculation and the scheduler's decode path is untouched.
+struct SpeculationConfig {
+  /// Draft tokens proposed per propose-then-verify round.
+  index_t depth = 0;
+  /// i.i.d. probability the target model accepts one draft token.
+  double acceptance = 0.7;
+
+  [[nodiscard]] bool enabled() const { return depth > 0; }
+  /// Expected committed tokens per round: the accepted draft prefix plus
+  /// the target model's own token, sum_{i=0..depth} acceptance^i.
+  [[nodiscard]] double expected_tokens_per_round() const;
+  void validate() const;
+};
 
 struct SchedulerConfig {
   SchedPolicy policy = SchedPolicy::kFcfs;
@@ -66,6 +102,22 @@ struct SchedulerConfig {
   /// Per-sequence prefill chunk in tokens; 0 = whole prompt in one step.
   index_t prefill_chunk_tokens = 0;
   BlockManagerConfig blocks;  // num_blocks == 0 keeps the KV unlimited
+
+  /// Tenant catalog for kWeightedFair (weights, tiers, quotas). Requests
+  /// from tenants absent here get a neutral default spec. The specs'
+  /// `kv_block_quota`s are mirrored into `blocks.tenant_quotas` by the
+  /// Scheduler constructor unless quotas were configured explicitly.
+  std::vector<TenantSpec> tenants;
+  /// WFQ tier spacing: one priority tier outranks this many tokens of
+  /// weighted service debt.
+  double wfq_tier_penalty_tokens = 8192.0;
+  /// WFQ aging: waiting one second forgives this many tokens of weighted
+  /// service debt (and, eventually, any tier penalty) — the
+  /// starvation-proofness knob. Must be > 0 under kWeightedFair.
+  double wfq_aging_tokens_per_s = 256.0;
+
+  /// Speculative decoding; requires a draft model when enabled.
+  SpeculationConfig speculation;
 };
 
 /// Everything one simulation produced: the golden-stable metrics plus
@@ -79,15 +131,40 @@ struct SchedStats {
   index_t decode_steps = 0;
   index_t peak_kv_blocks = 0;
   double sim_end_s = 0;
+  /// Speculative decoding counters (all 0 when speculation is off):
+  /// propose-then-verify rounds, draft tokens proposed, tokens committed.
+  index_t spec_rounds = 0;
+  index_t spec_draft_tokens = 0;
+  index_t spec_committed_tokens = 0;
   std::vector<Request> requests;
 };
+
+/// Per-tenant slice of one simulation's outcome, for fairness assertions
+/// and the multi-tenant bench tables.
+struct TenantMetrics {
+  index_t tenant = 0;
+  index_t completed = 0;
+  index_t rejected = 0;
+  index_t preemptions = 0;
+  index_t output_tokens = 0;  // tokens generated for this tenant
+  double mean_ttft_ms = 0;
+  double mean_tpot_ms = 0;
+};
+
+/// Splits `stats.requests` by tenant id, ascending. Tenants that never
+/// appear in the trace are absent.
+[[nodiscard]] std::vector<TenantMetrics> per_tenant_metrics(
+    const SchedStats& stats);
 
 class Scheduler {
  public:
   /// Prices steps against any StepModel: the single-device `Engine` or
   /// the multi-GPU `parallel::ParallelEngine` (max over ranks plus
-  /// interconnect communication).
-  Scheduler(const StepModel& model, SchedulerConfig cfg);
+  /// interconnect communication). `draft_model` prices the speculative
+  /// draft passes and is required iff `cfg.speculation` is enabled; it is
+  /// not owned and must outlive the scheduler.
+  Scheduler(const StepModel& model, SchedulerConfig cfg,
+            const StepModel* draft_model = nullptr);
 
   /// Runs the trace to completion. `ctx` only pre-warms the step model's
   /// decode memo (per-rank step evaluation on the shared pool); the
@@ -98,6 +175,7 @@ class Scheduler {
 
  private:
   const StepModel& model_;
+  const StepModel* draft_model_;
   SchedulerConfig cfg_;
 };
 

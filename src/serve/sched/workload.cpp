@@ -95,21 +95,60 @@ std::vector<TraceRequest> bursty_trace(const WorkloadConfig& cfg, Rng& rng) {
 
 }  // namespace
 
+namespace {
+
+/// Tags each request with a tenant drawn from the share mix. Runs on its
+/// own RNG stream (`seed` xor a fixed salt) so the base trace — arrival
+/// times and lengths — is bit-identical with and without a mix.
+void assign_tenants(const WorkloadConfig& cfg,
+                    std::vector<TraceRequest>& trace) {
+  if (cfg.tenant_shares.empty()) return;
+  double total = 0.0;
+  for (const double s : cfg.tenant_shares) {
+    MARLIN_CHECK(s >= 0.0, "tenant shares must be >= 0");
+    total += s;
+  }
+  MARLIN_CHECK(total > 0.0, "tenant mix needs at least one positive share");
+  constexpr std::uint64_t kTenantStreamSalt = 0x7E6A2C55D1B4F09Bull;
+  Rng rng(cfg.seed ^ kTenantStreamSalt);
+  for (auto& r : trace) {
+    double u = rng.uniform() * total;
+    // Conventional fall-back to the *last* bracket: if rounding leaves u
+    // non-negative after every subtraction, the draw belongs to the tail.
+    index_t tenant = static_cast<index_t>(cfg.tenant_shares.size()) - 1;
+    for (std::size_t i = 0; i < cfg.tenant_shares.size(); ++i) {
+      u -= cfg.tenant_shares[i];
+      if (u < 0.0) {
+        tenant = static_cast<index_t>(i);
+        break;
+      }
+    }
+    r.tenant_id = tenant;
+  }
+}
+
+}  // namespace
+
 std::vector<TraceRequest> generate_trace(const WorkloadConfig& cfg) {
   MARLIN_CHECK(cfg.qps > 0, "QPS must be positive");
   MARLIN_CHECK(cfg.duration_s > 0, "duration must be positive");
   MARLIN_CHECK(cfg.input_tokens >= 1 && cfg.output_tokens >= 1,
                "token counts must be >= 1");
   Rng rng(cfg.seed);
+  std::vector<TraceRequest> trace;
   switch (cfg.shape) {
     case WorkloadShape::kPoisson:
-      return poisson_trace(cfg, rng, /*lognormal_lengths=*/false);
+      trace = poisson_trace(cfg, rng, /*lognormal_lengths=*/false);
+      break;
     case WorkloadShape::kShareGpt:
-      return poisson_trace(cfg, rng, /*lognormal_lengths=*/true);
+      trace = poisson_trace(cfg, rng, /*lognormal_lengths=*/true);
+      break;
     case WorkloadShape::kBursty:
-      return bursty_trace(cfg, rng);
+      trace = bursty_trace(cfg, rng);
+      break;
   }
-  return {};
+  assign_tenants(cfg, trace);
+  return trace;
 }
 
 }  // namespace marlin::serve::sched

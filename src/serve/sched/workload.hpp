@@ -33,6 +33,8 @@ struct TraceRequest {
   double arrival_s = 0;
   index_t input_tokens = 0;
   index_t output_tokens = 0;
+  /// Owning tenant; 0 unless the workload configures a tenant mix.
+  index_t tenant_id = 0;
 };
 
 struct WorkloadConfig {
@@ -53,6 +55,14 @@ struct WorkloadConfig {
   index_t min_tokens = 4;
   index_t max_input_tokens = 2048;
   index_t max_output_tokens = 1024;
+
+  /// Per-tenant traffic mix: tenant id `i` receives `tenant_shares[i]` of
+  /// the requests (shares are relative weights, not required to sum to 1).
+  /// Empty = everything belongs to the single default tenant 0. Tenant
+  /// assignment draws from a *separate* RNG stream derived from `seed`,
+  /// after the trace is generated — configuring a mix leaves the arrival
+  /// times and token lengths of the base trace bit-identical.
+  std::vector<double> tenant_shares;
 };
 
 /// Arrival-ordered trace for the configured shape; empty if the rate and

@@ -1,8 +1,10 @@
 #include "serve/server_sim.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "serve/parallel/parallel_engine.hpp"
+#include "util/error.hpp"
 
 namespace marlin::serve {
 
@@ -16,6 +18,21 @@ sched::SchedStats simulate_serving_detailed(const Engine& engine,
   w.input_tokens = cfg.input_tokens;
   w.output_tokens = cfg.output_tokens;
   w.seed = cfg.seed;
+
+  // Tenant mix: `tenant_shares[i]` is tenant id i's share, so scatter the
+  // specs' traffic shares by id (ids need not be dense).
+  if (!cfg.tenants.empty()) {
+    index_t max_id = 0;
+    for (const auto& t : cfg.tenants) {
+      t.validate();
+      MARLIN_CHECK(t.id < 4096, "tenant id " << t.id << " unreasonably large");
+      max_id = std::max(max_id, t.id);
+    }
+    w.tenant_shares.assign(static_cast<std::size_t>(max_id) + 1, 0.0);
+    for (const auto& t : cfg.tenants) {
+      w.tenant_shares[static_cast<std::size_t>(t.id)] = t.traffic_share;
+    }
+  }
 
   // Validate unconditionally: a malformed microbatch count must not be
   // masked just because tp/pp happen to be 1 (the trivial path below
@@ -43,8 +60,22 @@ sched::SchedStats simulate_serving_detailed(const Engine& engine,
   sc.prefill_chunk_tokens = cfg.prefill_chunk_tokens;
   sc.blocks.block_size = cfg.kv_block_size;
   sc.blocks.num_blocks = kv_blocks;
+  sc.tenants = cfg.tenants;
+  sc.speculation = cfg.speculation;
 
-  const sched::Scheduler scheduler(model, sc);
+  // The draft engine shares the target's device, format and clocks — only
+  // the model differs (TinyLlama-1.1B unless configured). It stays on a
+  // single device even when the target verifies across a rank grid.
+  std::optional<Engine> draft;
+  if (cfg.speculation.enabled()) {
+    EngineConfig dcfg = engine.config();
+    dcfg.model =
+        cfg.draft_model.name.empty() ? tinyllama_1_1b() : cfg.draft_model;
+    dcfg.num_gpus = 1;
+    draft.emplace(dcfg);
+  }
+
+  const sched::Scheduler scheduler(model, sc, draft ? &*draft : nullptr);
   return scheduler.run(sched::generate_trace(w), ctx);
 }
 

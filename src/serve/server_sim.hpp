@@ -41,6 +41,22 @@ struct ServingConfig {
   /// over ranks plus interconnect communication) and requires the engine
   /// to be configured with num_gpus == 1.
   parallel::ParallelConfig parallel{};
+
+  /// Multi-tenant serving: tenant specs (WFQ weights, priority tiers,
+  /// soft KV block quotas, traffic shares). Empty = everything belongs to
+  /// the single default tenant 0 and nothing changes. The workload mixes
+  /// tenants by `traffic_share` on a side RNG stream (base trace stays
+  /// bit-identical); `policy = wfq` arbitrates between them.
+  std::vector<sched::TenantSpec> tenants;
+
+  /// Speculative decoding (depth 0 = off). When enabled, the simulation
+  /// builds a draft engine from `draft_model` — same device, weight
+  /// format and clocks as the target; TinyLlama-1.1B when unnamed — and
+  /// every decode step becomes a propose-then-verify round. Under a
+  /// non-trivial `parallel` config the draft stays replicated on a single
+  /// device while the target verifies across the rank grid.
+  sched::SpeculationConfig speculation;
+  ModelConfig draft_model{};
 };
 
 /// Full scheduler statistics (metrics + preemptions, KV peak, per-request

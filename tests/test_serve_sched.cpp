@@ -37,8 +37,16 @@ TEST(RequestLifecycle, IllegalTransitionsThrow) {
 
 // ---------------------------------------------------------- block manager
 
+BlockManagerConfig blocks_cfg(index_t num_blocks, double watermark = 0.0) {
+  BlockManagerConfig cfg;
+  cfg.block_size = 16;
+  cfg.num_blocks = num_blocks;
+  cfg.watermark = watermark;
+  return cfg;
+}
+
 TEST(BlockManager, AllocateFreeAndCounts) {
-  BlockManager bm({.block_size = 16, .num_blocks = 8, .watermark = 0.0});
+  BlockManager bm(blocks_cfg(8));
   EXPECT_EQ(bm.blocks_for_tokens(1), 1);
   EXPECT_EQ(bm.blocks_for_tokens(16), 1);
   EXPECT_EQ(bm.blocks_for_tokens(17), 2);
@@ -57,7 +65,7 @@ TEST(BlockManager, AllocateFreeAndCounts) {
 }
 
 TEST(BlockManager, DoubleFreeAndForeignIdsThrow) {
-  BlockManager bm({.block_size = 16, .num_blocks = 4, .watermark = 0.0});
+  BlockManager bm(blocks_cfg(4));
   auto ids = bm.allocate(2);
   std::vector<index_t> stale = ids;
   bm.free(ids);
@@ -68,7 +76,7 @@ TEST(BlockManager, DoubleFreeAndForeignIdsThrow) {
 
 TEST(BlockManager, WatermarkGatesAdmissionButNotGrowth) {
   // 10 blocks, 20% watermark => 2 blocks stay reserved at admission.
-  BlockManager bm({.block_size = 16, .num_blocks = 10, .watermark = 0.2});
+  BlockManager bm(blocks_cfg(10, 0.2));
   EXPECT_EQ(bm.watermark_blocks(), 2);
   EXPECT_TRUE(bm.can_admit(8 * 16));    // 8 + 2 == 10
   EXPECT_FALSE(bm.can_admit(9 * 16));   // would dip into the reserve
@@ -82,7 +90,7 @@ TEST(BlockManager, WatermarkGatesAdmissionButNotGrowth) {
 }
 
 TEST(BlockManager, UnlimitedModeTracksButNeverFails) {
-  BlockManager bm({.block_size = 16, .num_blocks = 0});
+  BlockManager bm(blocks_cfg(0));
   EXPECT_TRUE(bm.unlimited());
   EXPECT_TRUE(bm.can_admit(1 << 20));
   auto a = bm.allocate(1000);
