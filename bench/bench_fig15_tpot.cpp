@@ -16,17 +16,18 @@ int main(int argc, char** argv) {
   using namespace marlin;
   using serve::WeightFormat;
   const CliArgs args(argc, argv);
+  auto help = bench::serving_flag_help();
+  help.push_back(bench::bench_json_flag_help());
   bench::maybe_print_help(
       args, "bench_fig15_tpot",
       "Figure 15 - serving TPOT (time per output token), Llama-2-7B on "
       "RTX A6000",
-      bench::serving_flag_help());
+      std::move(help));
   const SimContext ctx = bench::make_context(args);
   // --seed reproduces the identical Poisson trace; --policy swaps the
   // scheduler's admission order (defaults are the goldens configuration).
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const auto policy =
-      serve::sched::policy_by_name(args.get_string("policy", "fcfs"));
+  const bench::ServeCliOptions cli = bench::parse_serve_cli(args);
+  bench::BenchJsonReporter json(args, ctx, "bench_fig15_tpot");
   std::cout << "=== Figure 15: Llama-2-7B TPOT on RTX A6000 "
                "(64 in / 64 out) ===\n\n";
 
@@ -62,13 +63,14 @@ int main(int argc, char** argv) {
   for (std::size_t e = 0; e < formats.size(); ++e) {
     for (const double qps : qps_values) points.push_back({e, qps});
   }
+  json.set_points(points.size());
   const bench::SweepTimer timer(ctx, "fig15 serving sweep");
   const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
     serve::ServingConfig sc;
     sc.qps = pt.qps;
     sc.duration_s = 120.0;
-    sc.seed = seed;
-    sc.policy = policy;
+    sc.seed = cli.seed;
+    sc.policy = cli.policy;
     const auto m = serve::simulate_serving(*engines[pt.engine], sc);
     return Cell{m.mean_tpot_ms, m.mean_batch};
   });

@@ -95,8 +95,11 @@ int main(int argc, char** argv) {
   using namespace marlin;
   const CliArgs args(argc, argv);
   bench::maybe_print_help(args, "bench_fig1_peak",
-                          "Figure 1 - peak speedup over FP16 vs batch size (A10, boost clocks)");
+                          "Figure 1 - peak speedup over FP16 vs batch size (A10, boost clocks)",
+                          {bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
+  bench::BenchJsonReporter json(args, ctx, "bench_fig1_peak");
+  json.set_points(bench::fig1_batches().size());
   std::cout << "=== Figure 1: peak per-layer speedup on A10 (boost clock) ===\n"
             << "16bit x 4bit (group=128), K=18432, N=73728\n\n";
   {

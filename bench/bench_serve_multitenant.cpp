@@ -42,11 +42,11 @@ int main(int argc, char** argv) {
        {"--duration S", "arrival window seconds (default 40)"},
        {"--kv-blocks N", "KV budget in blocks of 16 tokens (default 96)"},
        {"--spec-depth D", "draft tokens per speculative round (default 4)"},
-       {"--spec-accept A", "per-token draft acceptance (default 0.8)"}});
+       {"--spec-accept A", "per-token draft acceptance (default 0.8)"},
+       bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const double qps = args.get_double("qps", 20.0);
-  const double duration = args.get_double("duration", 40.0);
+  const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 20.0, 40.0);
+  bench::BenchJsonReporter json(args, ctx, "bench_serve_multitenant");
   const index_t kv_blocks = args.get_int("kv-blocks", 96);
   const index_t spec_depth = args.get_int("spec-depth", 4);
   const double spec_accept = args.get_double("spec-accept", 0.8);
@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Multi-tenant serving sweep: " << ecfg.model.name << " ("
             << serve::to_string(ecfg.format) << ") on " << ecfg.gpu.name
-            << ", " << qps << " QPS, " << duration << " s, " << kv_blocks
+            << ", " << cli.qps << " QPS, " << cli.duration_s << " s, " << kv_blocks
             << " KV blocks ===\n"
             << "Speculation: TinyLlama-1.1B draft, depth " << spec_depth
             << ", acceptance " << format_double(spec_accept, 2) << "\n\n";
@@ -96,12 +96,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  json.set_points(points.size());
   const bench::SweepTimer timer(ctx, "multi-tenant serving sweep");
   const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
     serve::ServingConfig sc;
-    sc.qps = qps;
-    sc.duration_s = duration;
-    sc.seed = seed;
+    sc.qps = cli.qps;
+    sc.duration_s = cli.duration_s;
+    sc.seed = cli.seed;
     sc.policy = policies[pt.policy];
     sc.kv_blocks = kv_blocks;
     sc.tenants = mixes[pt.mix].tenants;

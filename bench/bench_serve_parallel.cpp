@@ -35,11 +35,11 @@ int main(int argc, char** argv) {
       "workload, Llama-2-70B on A100/NVLink (sweeps fcfs/sjf itself)",
       {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
        {"--qps Q", "mean arrival rate (default 10)"},
-       {"--duration S", "arrival window seconds (default 40)"}});
+       {"--duration S", "arrival window seconds (default 40)"},
+       bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const double qps = args.get_double("qps", 10.0);
-  const double duration = args.get_double("duration", 40.0);
+  const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 10.0, 40.0);
+  bench::BenchJsonReporter json(args, ctx, "bench_serve_parallel");
 
   serve::EngineConfig ecfg;
   ecfg.model = serve::llama2_70b();
@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Parallel serving sweep: " << ecfg.model.name << " ("
             << serve::to_string(ecfg.format) << ") on " << ecfg.gpu.name
-            << " over " << ecfg.gpu.interconnect_name << ", " << qps
-            << " QPS, " << duration << " s ===\n\n";
+            << " over " << ecfg.gpu.interconnect_name << ", " << cli.qps
+            << " QPS, " << cli.duration_s << " s ===\n\n";
 
   // Per-config world summary: rank grid, heaviest weight shard, binding
   // per-rank KV budget (blocks of 16 tokens; min over the rank grid).
@@ -109,12 +109,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  json.set_points(points.size());
   const bench::SweepTimer timer(ctx, "parallel serving sweep");
   const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
     serve::ServingConfig sc;
-    sc.qps = qps;
-    sc.duration_s = duration;
-    sc.seed = seed;
+    sc.qps = cli.qps;
+    sc.duration_s = cli.duration_s;
+    sc.seed = cli.seed;
     sc.shape = shapes[pt.shape];
     sc.policy = policies[pt.policy];
     sc.kv_blocks = -1;  // HBM-derived per-rank budget (min rank binds)

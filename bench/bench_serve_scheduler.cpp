@@ -29,12 +29,12 @@ int main(int argc, char** argv) {
        {"--qps Q", "mean arrival rate (default 8)"},
        {"--duration S", "arrival window seconds (default 60)"},
        {"--prefill-chunk N",
-        "per-sequence prefill chunk tokens (0 = unchunked)"}});
+        "per-sequence prefill chunk tokens (0 = unchunked)"},
+       bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  const double qps = args.get_double("qps", 8.0);
-  const double duration = args.get_double("duration", 60.0);
+  const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 8.0, 60.0);
   const index_t chunk = args.get_int("prefill-chunk", 0);
+  bench::BenchJsonReporter json(args, ctx, "bench_serve_scheduler");
 
   serve::EngineConfig ecfg;
   ecfg.model = serve::llama2_7b();
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Scheduler sweep: " << ecfg.model.name << " ("
             << serve::to_string(ecfg.format) << ") on " << ecfg.gpu.name
-            << ", " << qps << " QPS, " << duration << " s ===\n"
+            << ", " << cli.qps << " QPS, " << cli.duration_s << " s ===\n"
             << "KV budgets (blocks of " << block_size
             << " tokens): unlimited, hbm=" << derived << ", tight=128\n\n";
 
@@ -79,12 +79,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  json.set_points(points.size());
   const bench::SweepTimer timer(ctx, "scheduler scenario sweep");
   const auto cells = bench::run_sweep(ctx, points, [&](const Point& pt) {
     serve::ServingConfig sc;
-    sc.qps = qps;
-    sc.duration_s = duration;
-    sc.seed = seed;
+    sc.qps = cli.qps;
+    sc.duration_s = cli.duration_s;
+    sc.seed = cli.seed;
     sc.shape = shapes[pt.shape];
     sc.policy = policies[pt.policy];
     sc.kv_blocks = budgets[pt.budget].blocks;

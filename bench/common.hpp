@@ -22,8 +22,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -32,6 +34,8 @@
 #include "core/problem.hpp"
 #include "gpusim/clock.hpp"
 #include "gpusim/device.hpp"
+#include "serve/sched/scheduler.hpp"
+#include "serve/sched/workload.hpp"
 #include "util/cli.hpp"
 #include "util/sim_context.hpp"
 #include "util/table.hpp"
@@ -74,6 +78,40 @@ inline std::vector<FlagHelp> serving_flag_help() {
   return {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
           {"--policy P",
            "scheduler admission policy: fcfs | sjf | max-util | wfq"}};
+}
+
+/// Help entry for `--bench-json` (golden benches construct a
+/// BenchJsonReporter and should list this).
+inline FlagHelp bench_json_flag_help() {
+  return {"--bench-json FILE",
+          "append {bench, wall_s, points, threads} to the JSON array in "
+          "FILE (the checked-in BENCH_<pr>.json perf trajectory)"};
+}
+
+/// The serving flags every serving binary (fig15/fig16/bench_serve_* and
+/// examples/serving_simulation) repeats, parsed once. Defaults for
+/// qps/duration vary per bench and are passed in; the rest are the
+/// goldens configuration.
+struct ServeCliOptions {
+  std::uint64_t seed = 42;
+  serve::sched::SchedPolicy policy = serve::sched::SchedPolicy::kFcfs;
+  serve::sched::WorkloadShape workload =
+      serve::sched::WorkloadShape::kPoisson;
+  double qps = 0;
+  double duration_s = 0;
+};
+
+inline ServeCliOptions parse_serve_cli(const CliArgs& args,
+                                       double default_qps = 1.0,
+                                       double default_duration_s = 120.0) {
+  ServeCliOptions o;
+  o.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  o.policy = serve::sched::policy_by_name(args.get_string("policy", "fcfs"));
+  o.workload =
+      serve::sched::workload_by_name(args.get_string("workload", "poisson"));
+  o.qps = args.get_double("qps", default_qps);
+  o.duration_s = args.get_double("duration", default_duration_s);
+  return o;
 }
 
 /// Context for a bench main(): honours --threads / MARLIN_THREADS.
@@ -122,6 +160,69 @@ class SweepTimer {
 
  private:
   std::string label_;
+  unsigned threads_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable perf record for the checked-in BENCH_<pr>.json
+/// trajectory (ROADMAP's recorded perf series). When the binary is run
+/// with `--bench-json FILE`, the reporter appends one JSON object —
+/// bench name, wall seconds, sweep-point count, thread count — to the
+/// JSON array in FILE on destruction (creating the file if needed).
+/// Without the flag it is inert, so golden runs (which never pass it)
+/// are untouched; the wall-time goes to the side file, never to the
+/// golden-diffed stdout.
+class BenchJsonReporter {
+ public:
+  BenchJsonReporter(const CliArgs& args, const SimContext& ctx,
+                    std::string bench)
+      : path_(args.get_string("bench-json", "")), bench_(std::move(bench)),
+        threads_(ctx.num_threads()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Number of simulations/sweep points the bench ran (the record's
+  /// work-size field).
+  void set_points(std::size_t n) { points_ = n; }
+
+  ~BenchJsonReporter() {
+    if (path_.empty()) return;
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start_)
+                              .count();
+    std::ostringstream rec;
+    rec << "  {\"bench\": \"" << bench_ << "\", \"wall_s\": "
+        << format_double(wall_s, 3) << ", \"points\": " << points_
+        << ", \"threads\": " << threads_ << "}";
+    // The file is a JSON array, one record per line. Append = rewrite
+    // with the record spliced before the closing bracket (files are a
+    // handful of lines; the benches run sequentially under the
+    // `bench-json` target, so there is no concurrent writer).
+    std::string body;
+    {
+      std::ifstream in(path_);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      body = buf.str();
+    }
+    const std::size_t close = body.rfind(']');
+    std::ofstream out(path_, std::ios::trunc);
+    if (close == std::string::npos) {
+      out << "[\n" << rec.str() << "\n]\n";
+    } else {
+      body.resize(close);
+      while (!body.empty() &&
+             (body.back() == '\n' || body.back() == ' ')) {
+        body.pop_back();
+      }
+      const bool was_empty_array = body.empty() || body.back() == '[';
+      out << body << (was_empty_array ? "\n" : ",\n") << rec.str() << "\n]\n";
+    }
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::size_t points_ = 0;
   unsigned threads_;
   std::chrono::steady_clock::time_point start_;
 };

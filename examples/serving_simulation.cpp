@@ -53,8 +53,16 @@ int main(int argc, char** argv) {
                        "with --policy wfq)"},
        {"--spec-depth D", "speculative draft tokens per round (0 = off)"},
        {"--spec-accept A", "per-token draft acceptance (default 0.7)"},
-       {"--draft-model M", "draft model (default tinyllama-1.1b)"}});
+       {"--draft-model M", "draft model (default tinyllama-1.1b)"},
+       {"--replicas N", "engine replicas behind the router (default 1)"},
+       {"--placement P", "replica placement: round-robin | least-loaded | "
+                         "session-affinity"},
+       {"--ttft-slo MS", "TTFT deadline ms (shed-on-hopeless; 0 = off)"},
+       {"--tpot-slo MS", "TPOT deadline ms (violation accounting; 0 = off)"},
+       {"--autoscale", "enable the trace-driven autoscaler"},
+       {"--autoscale-max N", "autoscaler replica ceiling (default 8)"}});
   const SimContext ctx = make_sim_context(args);
+  const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 2.5, 120.0);
   serve::EngineConfig ecfg;
   ecfg.model = serve::model_by_name(
       args.get_string("model", "llama-2-7b"));
@@ -62,13 +70,13 @@ int main(int argc, char** argv) {
   ecfg.num_gpus = static_cast<int>(args.get_int("gpus", 1));
 
   serve::ServingConfig scfg;
-  scfg.qps = args.get_double("qps", 2.5);
-  scfg.duration_s = args.get_double("duration", 120.0);
+  scfg.qps = cli.qps;
+  scfg.duration_s = cli.duration_s;
   scfg.input_tokens = args.get_int("input-tokens", 64);
   scfg.output_tokens = args.get_int("output-tokens", 64);
-  scfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  scfg.shape = sched::workload_by_name(args.get_string("workload", "poisson"));
-  scfg.policy = sched::policy_by_name(args.get_string("policy", "fcfs"));
+  scfg.seed = cli.seed;
+  scfg.shape = cli.workload;
+  scfg.policy = cli.policy;
   // --kv-blocks: -1 derives the budget from the device HBM next to the
   // weights (per-rank aware under --tp/--pp); 0 keeps it unlimited; any
   // positive count is used as-is.
@@ -96,6 +104,16 @@ int main(int argc, char** argv) {
     scfg.draft_model =
         serve::model_by_name(args.get_string("draft-model", ""));
   }
+  // Cluster shape: replicas behind the router, streaming SLOs, autoscaler.
+  // The defaults (1 replica, no SLO) are exactly the legacy single-engine
+  // simulation.
+  scfg.cluster.replicas = args.get_int("replicas", 1);
+  scfg.cluster.placement = serve::cluster::placement_by_name(
+      args.get_string("placement", "round-robin"));
+  scfg.slo.ttft_deadline_ms = args.get_double("ttft-slo", 0.0);
+  scfg.slo.tpot_deadline_ms = args.get_double("tpot-slo", 0.0);
+  scfg.cluster.autoscaler.enabled = args.get_bool("autoscale", false);
+  scfg.cluster.autoscaler.max_replicas = args.get_int("autoscale-max", 8);
 
   const int world = scfg.parallel.world_size();
   std::cout << ecfg.model.name << " on "
@@ -120,20 +138,46 @@ int main(int argc, char** argv) {
                       : scfg.draft_model.name)
               << ")";
   }
+  const bool clustered = scfg.cluster.replicas > 1 ||
+                         scfg.cluster.autoscaler.enabled ||
+                         scfg.slo.enabled();
+  if (clustered) {
+    std::cout << ", " << scfg.cluster.replicas << " replicas ("
+              << serve::cluster::to_string(scfg.cluster.placement) << ")";
+    if (scfg.cluster.autoscaler.enabled) {
+      std::cout << ", autoscale<=" << scfg.cluster.autoscaler.max_replicas;
+    }
+    if (scfg.slo.enabled()) {
+      std::cout << ", SLO " << scfg.slo.ttft_deadline_ms << "/"
+                << scfg.slo.tpot_deadline_ms << " ms";
+    }
+  }
   std::cout << "\n\n";
 
   const std::vector<serve::WeightFormat> formats{
       serve::WeightFormat::kFp16, serve::WeightFormat::kMarlin,
       serve::WeightFormat::kSparseMarlin};
   std::vector<std::vector<std::string>> rows(formats.size());
+  std::vector<std::string> cluster_rows(formats.size());
   ctx.parallel_for(0, static_cast<std::int64_t>(formats.size()),
                    [&](std::int64_t i) {
                      auto cfg = ecfg;
                      cfg.format = formats[static_cast<std::size_t>(i)];
                      const serve::Engine engine(cfg);
-                     const auto st =
-                         serve::simulate_serving_detailed(engine, scfg);
+                     const auto cs =
+                         serve::simulate_cluster_detailed(engine, scfg);
+                     const auto& st = cs.sched;
                      const auto& m = st.metrics;
+                     if (clustered) {
+                       std::ostringstream cl;
+                       cl << serve::to_string(cfg.format) << ": peak "
+                          << cs.peak_replicas << " replicas (+"
+                          << cs.replicas_added << "/-" << cs.replicas_drained
+                          << " scaled), shed " << st.shed
+                          << ", TTFT viol " << st.slo_ttft_violations
+                          << ", TPOT viol " << st.slo_tpot_violations;
+                       cluster_rows[static_cast<std::size_t>(i)] = cl.str();
+                     }
                      double weights_per_gpu = engine.weight_bytes_per_gpu();
                      if (!scfg.parallel.trivial()) {
                        weights_per_gpu =
@@ -157,5 +201,9 @@ int main(int argc, char** argv) {
                "mean batch", "completed", "preempt", "weights/GPU"});
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  if (clustered) {
+    std::cout << "\nCluster:\n";
+    for (const auto& line : cluster_rows) std::cout << "  " << line << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Fail when the checked-in bench perf records are missing or malformed.
+
+The golden benches append one machine-readable record each when run with
+``--bench-json FILE`` (see ``BenchJsonReporter`` in ``bench/common.hpp``);
+the ``bench-json`` build target regenerates the checked-in ``BENCH_*.json``
+at the repository root. This check keeps that artifact honest: the file
+must exist, parse as a JSON array, and every record must carry
+
+    bench    non-empty string, unique across the file
+    wall_s   non-negative finite number
+    points   positive integer
+    threads  positive integer
+
+Wall-times are machine-dependent by design and are NOT compared — only
+shape is validated, so the check is deterministic across hosts.
+
+Usage:  check_bench_json.py [repo_root]
+Exit status: 0 = every BENCH_*.json is well-formed, 1 = problems found.
+"""
+
+import glob
+import json
+import math
+import os
+import sys
+
+
+def check_record(path: str, i: int, rec: object, failures: list) -> str:
+    where = f"{os.path.basename(path)}[{i}]"
+    if not isinstance(rec, dict):
+        failures.append(f"{where}: record is not a JSON object")
+        return ""
+    bench = rec.get("bench")
+    if not isinstance(bench, str) or not bench:
+        failures.append(f"{where}: `bench` must be a non-empty string")
+        bench = ""
+    wall = rec.get("wall_s")
+    if (not isinstance(wall, (int, float)) or isinstance(wall, bool)
+            or not math.isfinite(wall) or wall < 0):
+        failures.append(f"{where}: `wall_s` must be a non-negative number")
+    for key in ("points", "threads"):
+        val = rec.get(key)
+        if not isinstance(val, int) or isinstance(val, bool) or val <= 0:
+            failures.append(f"{where}: `{key}` must be a positive integer")
+    extra = set(rec) - {"bench", "wall_s", "points", "threads"}
+    if extra:
+        failures.append(f"{where}: unexpected keys {sorted(extra)}")
+    return bench
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print(f"no BENCH_*.json found under {root} — run "
+              "`cmake --build <dir> --target bench-json` and commit the "
+              "result")
+        return 1
+
+    failures = []
+    records = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            failures.append(f"{os.path.basename(path)}: {err}")
+            continue
+        if not isinstance(data, list) or not data:
+            failures.append(
+                f"{os.path.basename(path)}: expected a non-empty JSON array")
+            continue
+        seen = set()
+        for i, rec in enumerate(data):
+            bench = check_record(path, i, rec, failures)
+            if bench in seen:
+                failures.append(
+                    f"{os.path.basename(path)}[{i}]: duplicate bench "
+                    f"`{bench}`")
+            seen.add(bench)
+        records += len(data)
+
+    if failures:
+        print(f"{len(failures)} bench-json problem(s):")
+        for f in failures:
+            print(" ", f)
+        return 1
+    print(f"checked {len(paths)} bench-json file(s), {records} records: "
+          "all well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,237 @@
+#include "serve/cluster/event_loop.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace marlin::serve::cluster {
+
+void AutoscalerConfig::validate() const {
+  MARLIN_CHECK(min_replicas >= 1, "autoscaler min_replicas must be >= 1");
+  MARLIN_CHECK(max_replicas >= min_replicas,
+               "autoscaler max_replicas (" << max_replicas
+                                           << ") below min_replicas ("
+                                           << min_replicas << ")");
+  MARLIN_CHECK(interval_s > 0, "autoscaler interval must be > 0");
+  MARLIN_CHECK(scale_down_queue_per_replica >= 0,
+               "negative autoscaler scale-down threshold");
+  MARLIN_CHECK(scale_up_queue_per_replica > scale_down_queue_per_replica,
+               "autoscaler scale-up threshold must exceed scale-down "
+               "(hysteresis)");
+}
+
+void ClusterOptions::validate() const {
+  MARLIN_CHECK(replicas >= 1, "cluster needs at least one replica");
+  autoscaler.validate();
+  if (autoscaler.enabled) {
+    MARLIN_CHECK(replicas >= autoscaler.min_replicas &&
+                     replicas <= autoscaler.max_replicas,
+                 "initial replica count " << replicas
+                                          << " outside autoscaler bounds ["
+                                          << autoscaler.min_replicas << ", "
+                                          << autoscaler.max_replicas << "]");
+  }
+}
+
+EventLoop::EventLoop(const sched::Scheduler& scheduler, ClusterOptions opts)
+    : scheduler_(scheduler), opts_(opts) {
+  opts_.validate();
+}
+
+ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
+                            const SimContext& ctx) const {
+  ClusterStats stats;
+  std::vector<sched::Request>& requests = stats.sched.requests;
+  requests.reserve(trace.size());
+  index_t max_context = 1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    requests.emplace_back(static_cast<index_t>(i), trace[i].arrival_s,
+                          trace[i].input_tokens, trace[i].output_tokens,
+                          trace[i].tenant_id);
+    max_context =
+        std::max(max_context, trace[i].input_tokens + trace[i].output_tokens);
+  }
+  const sched::SchedulerConfig& cfg = scheduler_.config();
+  scheduler_.model().warm_decode_cache(ctx, cfg.max_batch,
+                                       static_cast<double>(max_context));
+  if (scheduler_.draft_model() != nullptr) {
+    scheduler_.draft_model()->warm_decode_cache(
+        ctx, cfg.max_batch, static_cast<double>(max_context));
+  }
+
+  // The fleet only ever grows (a deque keeps references stable); retired
+  // replicas stay in place so ids keep indexing it.
+  std::deque<Replica> fleet;
+  for (index_t i = 0; i < opts_.replicas; ++i) {
+    fleet.emplace_back(i, scheduler_);
+    fleet.back().register_tenants(requests);
+  }
+  Router router(opts_.placement);
+  std::size_t next_arrival = 0;
+
+  const auto routable_count = [&] {
+    index_t n = 0;
+    for (const Replica& rep : fleet) n += rep.routable() ? 1 : 0;
+    return n;
+  };
+  const auto earliest_busy = [&]() -> Replica* {
+    Replica* best = nullptr;
+    for (Replica& rep : fleet) {
+      // Strict < keeps the lowest id on ties.
+      if (rep.busy() && (best == nullptr || rep.now() < best->now())) {
+        best = &rep;
+      }
+    }
+    return best;
+  };
+  const auto retire_drained = [&] {
+    for (Replica& rep : fleet) rep.try_retire();
+  };
+
+  const AutoscalerConfig& as = opts_.autoscaler;
+  double next_eval_s = as.interval_s;
+  stats.peak_replicas = routable_count();
+
+  // Autoscaler catch-up: evaluate at every interval multiple the frontier
+  // has passed (before delivery, so new replicas are routable for the
+  // arrivals at this frontier and queue depth is measured pre-delivery).
+  const auto autoscale_upto = [&](double frontier) {
+    if (!as.enabled) return;
+    while (next_eval_s <= frontier) {
+      const double t_eval = next_eval_s;
+      next_eval_s += as.interval_s;
+      retire_drained();
+      const index_t routable = routable_count();
+      index_t queued = 0;
+      for (const Replica& rep : fleet) {
+        if (rep.routable()) {
+          queued += static_cast<index_t>(rep.state().queue.size());
+        }
+      }
+      const double load =
+          static_cast<double>(queued) / static_cast<double>(routable);
+      if (load > as.scale_up_queue_per_replica &&
+          routable < as.max_replicas) {
+        fleet.emplace_back(static_cast<index_t>(fleet.size()), scheduler_);
+        fleet.back().advance_to(t_eval);  // joins at the evaluation time
+        fleet.back().register_tenants(requests);
+        ++stats.replicas_added;
+        stats.peak_replicas = std::max(stats.peak_replicas, routable_count());
+      } else if (load < as.scale_down_queue_per_replica &&
+                 routable > as.min_replicas) {
+        // Drain the highest-id routable replica (the newest addition —
+        // LIFO keeps the stable core replicas serving).
+        for (std::size_t i = fleet.size(); i-- > 0;) {
+          if (fleet[i].routable()) {
+            fleet[i].begin_drain();
+            ++stats.replicas_drained;
+            break;
+          }
+        }
+        retire_drained();
+      }
+    }
+  };
+
+  while (true) {
+    Replica* target = earliest_busy();
+    double frontier;
+    if (target == nullptr) {
+      if (next_arrival >= requests.size()) break;  // drained the trace
+      frontier = requests[next_arrival].arrival_s;  // idle jump
+    } else {
+      frontier = target->now();
+    }
+
+    autoscale_upto(frontier);
+
+    // Deliver (route) every arrival the frontier has passed.
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival_s <= frontier) {
+      const std::size_t placed =
+          router.pick(requests[next_arrival], fleet, requests);
+      fleet[placed].deliver(next_arrival, requests);
+      ++next_arrival;
+    }
+
+    // Delivery can wake a replica whose clock is earlier than the old
+    // frontier; re-pick so ticks stay globally time-ordered.
+    target = earliest_busy();
+    MARLIN_ASSERT(target != nullptr);
+
+    // Liveness guard: a tick of a busy replica must change *something*
+    // (the clock, a flight, or a terminal counter) or the loop would spin
+    // forever on a scheduler bug.
+    const double now_before = target->now();
+    const std::size_t queue_before = target->state().queue.size();
+    const std::size_t active_before = target->state().active();
+    const index_t terminal_before =
+        target->state().rejected + target->state().shed;
+
+    target->tick(requests);
+
+    MARLIN_CHECK(!target->busy() || target->now() != now_before ||
+                     target->state().queue.size() != queue_before ||
+                     target->state().active() != active_before ||
+                     target->state().rejected + target->state().shed !=
+                         terminal_before,
+                 "event loop stalled: replica " << target->id()
+                                                << " made no progress at t="
+                                                << target->now());
+
+    retire_drained();
+  }
+
+  // Legacy SchedStats over the whole fleet: counters summed, metrics over
+  // the trace-order request vector — for one replica this is exactly what
+  // the pre-cluster Scheduler::run computed.
+  double batch_weighted = 0;
+  double decode_time_total = 0;
+  for (const Replica& rep : fleet) {
+    const sched::ReplicaState& s = rep.state();
+    stats.sched.preemptions += s.preemptions;
+    stats.sched.rejected += s.rejected;
+    stats.sched.shed += s.shed;
+    stats.sched.prefill_steps += s.prefill_steps;
+    stats.sched.decode_steps += s.decode_steps;
+    stats.sched.spec_rounds += s.spec_rounds;
+    stats.sched.spec_draft_tokens += s.spec_draft_tokens;
+    stats.sched.spec_committed_tokens += s.spec_committed_tokens;
+    stats.sched.slo_ttft_violations += s.slo_ttft_violations;
+    stats.sched.slo_tpot_violations += s.slo_tpot_violations;
+    stats.sched.peak_kv_blocks =
+        std::max(stats.sched.peak_kv_blocks, s.bm.peak_used_blocks());
+    stats.sched.sim_end_s = std::max(stats.sched.sim_end_s, s.now);
+    batch_weighted += s.batch_weighted;
+    decode_time_total += s.decode_time_total;
+  }
+  stats.sched.metrics =
+      sched::metrics_from_requests(requests, batch_weighted,
+                                   decode_time_total);
+
+  stats.replicas.reserve(fleet.size());
+  for (const Replica& rep : fleet) {
+    const sched::ReplicaState& s = rep.state();
+    ReplicaStats r;
+    r.id = rep.id();
+    r.lifecycle = rep.lifecycle();
+    r.clock_s = s.now;
+    r.routed = rep.routed();
+    r.shed = s.shed;
+    r.preemptions = s.preemptions;
+    r.prefill_steps = s.prefill_steps;
+    r.decode_steps = s.decode_steps;
+    r.peak_kv_blocks = s.bm.peak_used_blocks();
+    r.leaked_kv_blocks = s.bm.used_blocks();
+    stats.replicas.push_back(r);
+  }
+  for (const sched::Request& r : requests) {
+    if (r.finish_s >= 0 && r.replica >= 0) {
+      ++stats.replicas[static_cast<std::size_t>(r.replica)].completed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace marlin::serve::cluster

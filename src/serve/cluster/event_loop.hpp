@@ -1,0 +1,115 @@
+#pragma once
+// Cluster-level discrete-event loop: the clock that used to live inside
+// Scheduler::run, hoisted one level up so it can drive a whole fleet of
+// replicas behind a front-end Router.
+//
+// The loop is strictly serial and deterministic (part of the
+// bit-identical-across-threads contract; parallelism lives below, in
+// StepModel evaluation). Each iteration:
+//
+//   1. The *frontier* is the earliest busy replica's clock — or, when the
+//      whole fleet is idle, the next undelivered arrival's time.
+//   2. The autoscaler (if enabled) evaluates at every multiple of its
+//      interval the frontier has passed, adding replicas or draining the
+//      highest-id one against the observed queue depth.
+//   3. The Router delivers every arrival with `arrival_s <= frontier` to
+//      its placed replica (which advances an idle replica's clock to the
+//      arrival — a request cannot be seen early).
+//   4. The earliest busy replica (ties: lowest id) is *ticked*: one
+//      admission pass plus one engine step (see Scheduler's passive API).
+//
+// With one replica this reduces — engine call for engine call — to the
+// original Scheduler::run loop: step 3 is its `admit_arrivals(now)`, the
+// idle frontier is its idle jump, and step 4 is its loop body. That
+// equivalence is what keeps every pre-cluster golden byte-identical
+// through the refactor (and is pinned by test_serve_cluster).
+
+#include <vector>
+
+#include "serve/cluster/replica.hpp"
+#include "serve/cluster/router.hpp"
+#include "serve/sched/scheduler.hpp"
+#include "util/sim_context.hpp"
+
+namespace marlin::serve::cluster {
+
+/// Deterministic trace-driven autoscaler. Evaluates on the simulated
+/// clock (every `interval_s` of the event-loop frontier) against the mean
+/// queue depth per routable replica — purely a function of the trace, so
+/// runs reproduce bit-identically.
+struct AutoscalerConfig {
+  bool enabled = false;
+  index_t min_replicas = 1;
+  index_t max_replicas = 8;
+  /// Simulated seconds between evaluations.
+  double interval_s = 5.0;
+  /// Scale up (add one replica) when mean queued requests per routable
+  /// replica exceeds this.
+  double scale_up_queue_per_replica = 8.0;
+  /// Scale down (drain the highest-id routable replica) when the mean
+  /// falls below this.
+  double scale_down_queue_per_replica = 1.0;
+
+  void validate() const;
+};
+
+struct ClusterOptions {
+  /// Initial fleet size. The defaults — one replica, round-robin, no
+  /// autoscaler, which a lone replica both make trivial — are exactly the
+  /// legacy single-engine configuration.
+  index_t replicas = 1;
+  Placement placement = Placement::kRoundRobin;
+  AutoscalerConfig autoscaler;
+
+  void validate() const;
+};
+
+/// One replica's end-of-run accounting.
+struct ReplicaStats {
+  index_t id = 0;
+  ReplicaLifecycle lifecycle = ReplicaLifecycle::kActive;
+  double clock_s = 0;    // final value of the replica's clock
+  index_t routed = 0;    // requests the router placed here
+  index_t completed = 0;
+  index_t shed = 0;
+  index_t preemptions = 0;
+  index_t prefill_steps = 0;
+  index_t decode_steps = 0;
+  index_t peak_kv_blocks = 0;
+  /// KV blocks still allocated after the run — always 0 unless a
+  /// lifecycle bug leaks them (asserted by tests).
+  index_t leaked_kv_blocks = 0;
+};
+
+/// Fleet-level outcome: the legacy SchedStats (metrics over all requests,
+/// counters summed across replicas — for one replica bit-identical to the
+/// pre-cluster Scheduler::run) plus the per-replica split and autoscaler
+/// accounting.
+struct ClusterStats {
+  sched::SchedStats sched;
+  std::vector<ReplicaStats> replicas;
+  index_t replicas_added = 0;    // autoscaler additions beyond the initial
+  index_t replicas_drained = 0;  // drains begun (retired or still busy)
+  index_t peak_replicas = 0;     // max simultaneously routable
+};
+
+class EventLoop {
+ public:
+  /// `scheduler` is the shared passive policy (and step-model pricing)
+  /// every replica is ticked with; borrowed, must outlive the loop.
+  EventLoop(const sched::Scheduler& scheduler, ClusterOptions opts);
+
+  /// Runs `trace` (ascending arrival times) to completion. `ctx` only
+  /// pre-warms the step model's decode memo — results are bit-identical
+  /// for every context. Stateless across calls: every run builds a fresh
+  /// fleet, so repeat runs reproduce exactly.
+  [[nodiscard]] ClusterStats run(
+      const std::vector<sched::TraceRequest>& trace,
+      const SimContext& ctx = SimContext::serial_context()) const;
+
+ private:
+  const sched::Scheduler& scheduler_;
+  ClusterOptions opts_;
+};
+
+}  // namespace marlin::serve::cluster

@@ -1,0 +1,77 @@
+#include "serve/cluster/replica.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace marlin::serve::cluster {
+
+const char* to_string(ReplicaLifecycle lc) {
+  switch (lc) {
+    case ReplicaLifecycle::kActive:
+      return "active";
+    case ReplicaLifecycle::kDraining:
+      return "draining";
+    case ReplicaLifecycle::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+Replica::Replica(index_t id, const sched::Scheduler& scheduler)
+    : id_(id), scheduler_(&scheduler),
+      state_(scheduler.make_replica_state()) {}
+
+void Replica::advance_to(double t) { state_.now = std::max(state_.now, t); }
+
+void Replica::deliver(std::size_t request_id,
+                      std::vector<sched::Request>& requests) {
+  MARLIN_ASSERT(request_id < requests.size());
+  MARLIN_CHECK(lifecycle_ == ReplicaLifecycle::kActive,
+               "routed a request to " << to_string(lifecycle_) << " replica "
+                                      << id_);
+  sched::Request& r = requests[request_id];
+  r.replica = id_;
+  advance_to(r.arrival_s);
+  state_.queue.push_back(request_id);
+  ++routed_;
+}
+
+void Replica::tick(std::vector<sched::Request>& requests) {
+  scheduler_->admit(state_, requests);
+  scheduler_->step(state_, requests);
+}
+
+void Replica::register_tenants(const std::vector<sched::Request>& requests) {
+  scheduler_->register_tenants(state_, requests);
+}
+
+void Replica::begin_drain() {
+  if (lifecycle_ == ReplicaLifecycle::kActive) {
+    lifecycle_ = ReplicaLifecycle::kDraining;
+  }
+}
+
+bool Replica::try_retire() {
+  if (lifecycle_ != ReplicaLifecycle::kDraining || state_.busy()) {
+    return false;
+  }
+  lifecycle_ = ReplicaLifecycle::kRetired;
+  return true;
+}
+
+index_t Replica::outstanding_tokens(
+    const std::vector<sched::Request>& requests) const {
+  index_t total = 0;
+  const auto owed = [&](std::size_t id) {
+    const sched::Request& r = requests[id];
+    return (r.prefill_target() - r.prefilled) +
+           (r.output_tokens - r.generated);
+  };
+  for (const std::size_t id : state_.queue) total += owed(id);
+  for (const std::size_t id : state_.prefilling) total += owed(id);
+  for (const std::size_t id : state_.running) total += owed(id);
+  return total;
+}
+
+}  // namespace marlin::serve::cluster

@@ -1,0 +1,86 @@
+#pragma once
+// One serving replica: a {StepModel, BlockManager, Scheduler} bundle with
+// an add/drain lifecycle, driven by the cluster EventLoop.
+//
+// The Replica owns its mutable `sched::ReplicaState` (clock, queue,
+// flights, KV block manager, WFQ state, counters) and borrows the passive
+// `sched::Scheduler` policy object that ticks it — the scheduler in turn
+// references the StepModel pricing the engine steps, so one Scheduler
+// (and one warmed decode memo) can be shared by every replica of a
+// homogeneous fleet while each Replica keeps fully independent state.
+//
+// Lifecycle: kActive replicas accept routed requests; `begin_drain` stops
+// new placements while queued and in-flight work keeps being served;
+// a drained replica retires (kRetired) once it goes idle. Retired
+// replicas keep their counters for the end-of-run ClusterStats.
+
+#include <vector>
+
+#include "serve/sched/scheduler.hpp"
+
+namespace marlin::serve::cluster {
+
+enum class ReplicaLifecycle { kActive, kDraining, kRetired };
+
+const char* to_string(ReplicaLifecycle lc);
+
+class Replica {
+ public:
+  /// `scheduler` is borrowed and must outlive the replica; its config
+  /// carves this replica's private KV block budget.
+  Replica(index_t id, const sched::Scheduler& scheduler);
+
+  [[nodiscard]] index_t id() const { return id_; }
+  [[nodiscard]] ReplicaLifecycle lifecycle() const { return lifecycle_; }
+  /// Accepts new placements: active (draining/retired replicas only
+  /// finish what they already hold).
+  [[nodiscard]] bool routable() const {
+    return lifecycle_ == ReplicaLifecycle::kActive;
+  }
+  /// Requests waiting or in flight — a busy replica must keep ticking.
+  [[nodiscard]] bool busy() const { return state_.busy(); }
+  /// The replica's discrete-event clock (time its last step completed).
+  [[nodiscard]] double now() const { return state_.now; }
+  [[nodiscard]] index_t routed() const { return routed_; }
+
+  /// Clock-advance to `t` if `t` is in the future (idle jump / fleet
+  /// join); never moves the clock backwards.
+  void advance_to(double t);
+
+  /// Accepts request `request_id`: stamps its placement, advances the
+  /// clock to its arrival (a request cannot be seen early) and queues it.
+  void deliver(std::size_t request_id, std::vector<sched::Request>& requests);
+
+  /// One scheduler tick: an admission pass, then one engine step.
+  void tick(std::vector<sched::Request>& requests);
+
+  /// Registers every tenant in `requests` with this replica's WFQ state
+  /// (idempotent) — required before the first tick, including for
+  /// replicas the autoscaler adds mid-run.
+  void register_tenants(const std::vector<sched::Request>& requests);
+
+  /// Stops new placements; already-routed work keeps being served.
+  void begin_drain();
+  /// Retires a draining replica once idle. Returns true on the
+  /// kDraining -> kRetired transition.
+  bool try_retire();
+
+  /// Total tokens of outstanding work (prefill still owed plus decode
+  /// tokens still owed) across queued and in-flight requests — the
+  /// least-loaded placement key.
+  [[nodiscard]] index_t outstanding_tokens(
+      const std::vector<sched::Request>& requests) const;
+
+  /// Direct state access for the EventLoop's stats aggregation and for
+  /// white-box tests.
+  [[nodiscard]] const sched::ReplicaState& state() const { return state_; }
+
+ private:
+  index_t id_;
+  const sched::Scheduler* scheduler_;
+  sched::ReplicaState state_;
+  ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kActive;
+  index_t routed_ = 0;
+};
+
+}  // namespace marlin::serve::cluster

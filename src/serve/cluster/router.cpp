@@ -1,0 +1,79 @@
+#include "serve/cluster/router.hpp"
+
+#include "util/error.hpp"
+
+namespace marlin::serve::cluster {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::kRoundRobin:
+      return "round-robin";
+    case Placement::kLeastLoaded:
+      return "least-loaded";
+    case Placement::kSessionAffinity:
+      return "session-affinity";
+  }
+  return "?";
+}
+
+Placement placement_by_name(const std::string& name) {
+  for (const auto p : {Placement::kRoundRobin, Placement::kLeastLoaded,
+                       Placement::kSessionAffinity}) {
+    if (name == to_string(p)) return p;
+  }
+  MARLIN_CHECK(false, "unknown placement policy `"
+                          << name
+                          << "`; known: round-robin, least-loaded, "
+                             "session-affinity");
+  return Placement::kRoundRobin;  // unreachable
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer (Steele et al.) — fixed constants, identical on
+  // every platform.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t Router::pick(const sched::Request& r,
+                         const std::deque<Replica>& fleet,
+                         const std::vector<sched::Request>& requests) {
+  // The routable set, in id order (fleet is only ever appended to, so
+  // deque order == id order).
+  std::vector<std::size_t> routable;
+  routable.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (fleet[i].routable()) routable.push_back(i);
+  }
+  MARLIN_CHECK(!routable.empty(),
+               "router has no routable replica for request " << r.id);
+
+  switch (placement_) {
+    case Placement::kRoundRobin: {
+      const std::size_t slot = rr_cursor_ % routable.size();
+      rr_cursor_ = slot + 1;  // stays bounded as the routable set resizes
+      return routable[slot];
+    }
+    case Placement::kLeastLoaded: {
+      std::size_t best = routable[0];
+      index_t best_load = fleet[best].outstanding_tokens(requests);
+      for (std::size_t k = 1; k < routable.size(); ++k) {
+        const index_t load = fleet[routable[k]].outstanding_tokens(requests);
+        if (load < best_load) {  // ties keep the lowest id
+          best_load = load;
+          best = routable[k];
+        }
+      }
+      return best;
+    }
+    case Placement::kSessionAffinity: {
+      const auto h = mix64(static_cast<std::uint64_t>(r.tenant_id));
+      return routable[static_cast<std::size_t>(h % routable.size())];
+    }
+  }
+  return routable[0];  // unreachable
+}
+
+}  // namespace marlin::serve::cluster

@@ -1,0 +1,55 @@
+#pragma once
+// Front-end request router: picks the replica a newly arrived request is
+// placed on. Placement is pluggable and strictly deterministic — the
+// router sees arrivals in trace order at deterministic points of the
+// EventLoop, so every policy reproduces bit-identically at any thread
+// count.
+//
+//   * kRoundRobin     — rotate over routable replicas in id order.
+//   * kLeastLoaded    — fewest outstanding tokens (prefill + decode still
+//                       owed across queue and flights); ties go to the
+//                       lowest replica id.
+//   * kSessionAffinity — hash the tenant id onto the routable set, so one
+//                       tenant's requests land on one replica while the
+//                       fleet size holds (the hook prefix caching will
+//                       later exploit). Uses a fixed splitmix64-style
+//                       mixer, never std::hash (implementation-defined).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serve/cluster/replica.hpp"
+
+namespace marlin::serve::cluster {
+
+enum class Placement { kRoundRobin, kLeastLoaded, kSessionAffinity };
+
+const char* to_string(Placement p);
+/// Parses "round-robin" / "least-loaded" / "session-affinity"; throws on
+/// anything else.
+Placement placement_by_name(const std::string& name);
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) — the session-affinity
+/// hash. Exposed for tests.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+class Router {
+ public:
+  explicit Router(Placement placement) : placement_(placement) {}
+
+  [[nodiscard]] Placement placement() const { return placement_; }
+
+  /// Picks the routable replica for `r` and returns its index into
+  /// `fleet`. Throws if no replica is routable.
+  [[nodiscard]] std::size_t pick(const sched::Request& r,
+                                 const std::deque<Replica>& fleet,
+                                 const std::vector<sched::Request>& requests);
+
+ private:
+  Placement placement_;
+  std::size_t rr_cursor_ = 0;  // next round-robin *routable-set* slot
+};
+
+}  // namespace marlin::serve::cluster

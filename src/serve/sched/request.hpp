@@ -58,6 +58,13 @@ struct Request {
   /// True when the request could never fit in the KV budget and was
   /// refused outright (state kFinished, no tokens produced).
   bool rejected = false;
+  /// True when the request was shed by deadline-aware admission: its
+  /// TTFT SLO was already hopeless before it ever prefilled (state
+  /// kFinished, no tokens produced).
+  bool shed = false;
+  /// Replica the cluster router placed the request on; -1 until routed
+  /// (single-replica runs route everything to replica 0).
+  index_t replica = -1;
 
   /// Validated state transition; throws on an illegal edge.
   void set_state(RequestState next);

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <map>
 
+#include "serve/cluster/event_loop.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
 
@@ -55,10 +54,17 @@ void SpeculationConfig::validate() const {
                                                           << ")");
 }
 
+void SloConfig::validate() const {
+  MARLIN_CHECK(ttft_deadline_ms >= 0,
+               "negative TTFT deadline (" << ttft_deadline_ms << " ms)");
+  MARLIN_CHECK(tpot_deadline_ms >= 0,
+               "negative TPOT deadline (" << tpot_deadline_ms << " ms)");
+}
+
 namespace {
 
-// One request's latency metrics — the single definition both the global
-// metrics tail in Scheduler::run and the per-tenant split report from.
+// One request's latency metrics — the single definition the metrics
+// tail, the per-tenant split and the SLO accounting all report from.
 double request_ttft_ms(const Request& r) {
   return (r.first_token_s - r.arrival_s) * 1e3;
 }
@@ -98,10 +104,32 @@ std::vector<TenantMetrics> per_tenant_metrics(const SchedStats& stats) {
   return out;
 }
 
+ServingMetrics metrics_from_requests(const std::vector<Request>& requests,
+                                     double batch_weighted,
+                                     double decode_time_total) {
+  ServingMetrics m;
+  std::vector<double> tpots, ttfts;
+  for (const Request& r : requests) {
+    if (r.finish_s < 0) continue;
+    ++m.completed;
+    ttfts.push_back(request_ttft_ms(r));
+    tpots.push_back(request_tpot_ms(r));
+  }
+  if (!tpots.empty()) {
+    m.mean_tpot_ms = mean(tpots);
+    m.mean_ttft_ms = mean(ttfts);
+    m.p90_tpot_ms = percentile(tpots, 90.0);
+    m.p90_ttft_ms = percentile(ttfts, 90.0);
+  }
+  m.mean_batch =
+      decode_time_total > 0 ? batch_weighted / decode_time_total : 0.0;
+  return m;
+}
+
 namespace {
 
 /// Admission priority key; smaller admits first. FCFS keeps queue order.
-/// (kWeightedFair uses the separate double-valued WFQ key in run().)
+/// (kWeightedFair uses the separate double-valued WFQ key in Ticker.)
 index_t policy_key(SchedPolicy policy, const Request& r) {
   switch (policy) {
     case SchedPolicy::kFcfs:
@@ -119,6 +147,391 @@ index_t policy_key(SchedPolicy policy, const Request& r) {
   return 0;
 }
 
+/// One tick's worth of scheduling against a ReplicaState — the former
+/// Scheduler::run loop body, with its helper lambdas promoted to member
+/// functions. Constructed per Scheduler::admit/step call (it only
+/// bundles references); every floating-point operation happens in the
+/// exact order of the legacy loop, which is what keeps a 1-replica
+/// cluster byte-identical to the pre-cluster goldens.
+class Ticker {
+ public:
+  Ticker(const SchedulerConfig& cfg, const StepModel& model,
+         const StepModel* draft, double spec_expected, ReplicaState& s,
+         std::vector<Request>& requests)
+      : cfg_(cfg), model_(model), draft_(draft),
+        wfq_(cfg.policy == SchedPolicy::kWeightedFair),
+        spec_expected_(spec_expected), s_(s), requests_(requests) {}
+
+  void admit();
+  void step();
+
+ private:
+  [[nodiscard]] const TenantSpec& spec_of(index_t tenant) const {
+    return s_.tenant_specs.find(tenant)->second;
+  }
+  void add_service(index_t tenant, index_t tokens) {
+    if (!wfq_) return;
+    s_.service_debt[tenant] +=
+        static_cast<double>(tokens) / spec_of(tenant).weight;
+  }
+
+  // WFQ admission key; smaller admits first. Weighted service debt plus a
+  // fixed penalty per priority tier, minus a linear aging credit: a
+  // waiting request's key falls without bound while everyone else's only
+  // rises with service, so no tier or debt can starve it.
+  [[nodiscard]] double wfq_key(const Request& r) const {
+    const TenantSpec& t = spec_of(r.tenant_id);
+    return s_.service_debt.find(r.tenant_id)->second +
+           static_cast<double>(t.tier) * cfg_.wfq_tier_penalty_tokens -
+           cfg_.wfq_aging_tokens_per_s * (s_.now - r.arrival_s);
+  }
+
+  // A request that can never hold prompt + output tokens under the budget
+  // (keeping the watermark free for its admission) would starve the queue
+  // forever; refuse it outright.
+  [[nodiscard]] bool never_fits(const Request& r) const {
+    return !s_.bm.unlimited() &&
+           s_.bm.blocks_for_tokens(r.max_kv_tokens()) +
+                   s_.bm.watermark_blocks() >
+               s_.bm.total_blocks();
+  }
+
+  // Deadline-aware admission: hopeless iff even an immediate solo
+  // prefill (the request's best case) would miss the TTFT deadline.
+  // Requests that already emitted their first token (preempted ones)
+  // have their TTFT decided and are never shed.
+  [[nodiscard]] bool slo_hopeless(const Request& r) const {
+    const double deadline_ms = cfg_.slo.ttft_deadline_ms;
+    if (deadline_ms <= 0 || r.first_token_s >= 0) return false;
+    const double best_ttft_s = (s_.now - r.arrival_s) +
+                               model_.prefill_seconds(1, r.prefill_target());
+    return best_ttft_s * 1e3 > deadline_ms;
+  }
+
+  void preempt_running_at(std::size_t pos) {
+    MARLIN_ASSERT(pos < s_.running.size());
+    const std::size_t victim = s_.running[pos];
+    s_.running.erase(s_.running.begin() + static_cast<std::ptrdiff_t>(pos));
+    Request& v = requests_[victim];
+    v.set_state(RequestState::kPreempted);
+    s_.bm.free(v.blocks, v.tenant_id);
+    v.prefilled = 0;
+    ++v.preemptions;
+    ++s_.preemptions;
+    s_.queue.push_front(victim);
+  }
+
+  // The most over-quota tenant's last-admitted running sequence: the
+  // single victim-preference rule shared by decode-growth preemption
+  // (live BlockManager state) and admission reclaim (snapshot planning).
+  // Skips `exclude_tenant`'s sequences (-1 excludes nobody — tenant ids
+  // are >= 0) and positions flagged in `skip` (may be null); `over_fn`
+  // maps a tenant to its over-quota block count. Returns running.size()
+  // when every considered tenant is within quota.
+  template <typename OverFn>
+  [[nodiscard]] std::size_t most_over_quota_victim(
+      index_t exclude_tenant, const OverFn& over_fn,
+      const std::vector<bool>* skip) const {
+    std::size_t best = s_.running.size();
+    index_t worst_over = 0;
+    for (std::size_t i = s_.running.size(); i-- > 0;) {
+      const Request& v = requests_[s_.running[i]];
+      if ((skip != nullptr && (*skip)[i]) || v.tenant_id == exclude_tenant) {
+        continue;
+      }
+      const index_t over = over_fn(v.tenant_id);
+      if (over > worst_over) {
+        worst_over = over;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  // Decode-growth victim: under WFQ, the last-admitted sequence of the
+  // most over-quota tenant (borrowers give their blocks back first); the
+  // last-admitted sequence otherwise — and under WFQ when every tenant is
+  // within quota, which reproduces the legacy rule.
+  [[nodiscard]] std::size_t choose_victim_pos() const {
+    MARLIN_ASSERT(!s_.running.empty());
+    if (wfq_) {
+      const auto live_over_quota = [this](index_t tenant) {
+        return s_.bm.over_quota_blocks(tenant);
+      };
+      const std::size_t best =
+          most_over_quota_victim(-1, live_over_quota, nullptr);
+      if (best < s_.running.size()) return best;
+    }
+    return s_.running.size() - 1;
+  }
+
+  // WFQ borrow-and-reclaim: when a within-quota tenant's admission is
+  // blocked, preempt over-quota borrowers (other tenants, last-admitted
+  // first, most over-quota tenant first) until the candidate fits. A
+  // quota is thus a capacity *guarantee*, while idle blocks stay
+  // lendable. The greedy victim selection is planned on a snapshot
+  // first and only executed when it fully covers the admission —
+  // otherwise nobody is preempted, because a partial reclaim would
+  // destroy victims' KV (recompute on re-admission) without admitting
+  // anyone.
+  void reclaim_for(const Request& r) {
+    const index_t needed = s_.bm.blocks_for_tokens(r.prefill_target());
+    if (!s_.bm.within_quota(r.tenant_id, needed)) {
+      return;  // borrowers wait for genuinely free blocks
+    }
+    // Snapshot of the quantities the greedy loop mutates.
+    index_t free = s_.bm.free_blocks();
+    std::map<index_t, index_t> used;
+    for (const std::size_t id : s_.running) {
+      const index_t tenant = requests_[id].tenant_id;
+      if (!used.contains(tenant)) {
+        used[tenant] = s_.bm.tenant_used_blocks(tenant);
+      }
+    }
+    const auto snapshot_over_quota = [&](index_t tenant) {
+      const index_t quota = s_.bm.effective_quota(tenant);
+      if (quota == kNoQuota) return index_t{0};
+      return std::max<index_t>(0, used.find(tenant)->second - quota);
+    };
+    std::vector<bool> planned(s_.running.size(), false);
+    std::vector<std::size_t> plan;  // victim request ids, greedy order
+    while (needed + s_.bm.watermark_blocks() > free) {
+      const std::size_t best =
+          most_over_quota_victim(r.tenant_id, snapshot_over_quota, &planned);
+      if (best >= s_.running.size()) return;  // infeasible: preempt nobody
+      planned[best] = true;
+      plan.push_back(s_.running[best]);
+      const auto held =
+          static_cast<index_t>(requests_[s_.running[best]].blocks.size());
+      free += held;
+      used[requests_[s_.running[best]].tenant_id] -= held;
+    }
+    for (const std::size_t victim_id : plan) {
+      const auto pos = static_cast<std::size_t>(
+          std::find(s_.running.begin(), s_.running.end(), victim_id) -
+          s_.running.begin());
+      preempt_running_at(pos);
+    }
+  }
+
+  // Committed tokens of one speculative propose-then-verify round for
+  // `r`: the fractional accumulator keeps the long-run average at
+  // `spec_expected_` while every round commits a whole number of tokens
+  // (at least the target model's own token, at most what is still owed).
+  [[nodiscard]] index_t commit_tokens(const Request& r) const {
+    if (!cfg_.speculation.enabled()) return 1;
+    const index_t remaining = r.output_tokens - r.generated;
+    const auto c =
+        static_cast<index_t>(std::floor(r.spec_credit + spec_expected_));
+    return std::clamp<index_t>(c, 1, std::max<index_t>(1, remaining));
+  }
+
+  void prefill_round();
+  void decode_round();
+
+  const SchedulerConfig& cfg_;
+  const StepModel& model_;
+  const StepModel* draft_;
+  bool wfq_;
+  double spec_expected_;
+  ReplicaState& s_;
+  std::vector<Request>& requests_;
+};
+
+void Ticker::admit() {
+  // Admission in policy order, bounded by batch cap and KV watermark.
+  if (s_.queue.empty() ||
+      s_.active() >= static_cast<std::size_t>(cfg_.max_batch)) {
+    return;
+  }
+  std::vector<std::size_t> order(s_.queue.begin(), s_.queue.end());
+  if (wfq_) {
+    // Keys are loop-invariant during the sort; compute each once
+    // instead of per comparison (stable on ties, like the other
+    // policies).
+    std::vector<std::pair<double, std::size_t>> keyed;
+    keyed.reserve(order.size());
+    for (const std::size_t id : order) {
+      keyed.emplace_back(wfq_key(requests_[id]), id);
+    }
+    std::stable_sort(
+        keyed.begin(), keyed.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+  } else if (cfg_.policy != SchedPolicy::kFcfs) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return policy_key(cfg_.policy, requests_[a]) <
+                              policy_key(cfg_.policy, requests_[b]);
+                     });
+  }
+  std::vector<bool> taken(requests_.size(), false);
+  for (const std::size_t id : order) {
+    if (s_.active() >= static_cast<std::size_t>(cfg_.max_batch)) break;
+    Request& r = requests_[id];
+    if (slo_hopeless(r)) {
+      r.shed = true;
+      r.set_state(RequestState::kFinished);
+      ++s_.shed;
+      taken[id] = true;
+      continue;
+    }
+    if (never_fits(r)) {
+      r.rejected = true;
+      r.set_state(RequestState::kFinished);
+      ++s_.rejected;
+      taken[id] = true;
+      continue;
+    }
+    if (wfq_ && !s_.bm.can_admit(r.prefill_target())) {
+      reclaim_for(r);
+    }
+    if (!s_.bm.can_admit(r.prefill_target())) {
+      // FCFS and SJF respect head-of-line order; max-util and WFQ
+      // keep scanning for anything that still fits.
+      if (cfg_.policy == SchedPolicy::kMaxUtilization || wfq_) continue;
+      break;
+    }
+    r.blocks = s_.bm.allocate(s_.bm.blocks_for_tokens(r.prefill_target()),
+                              r.tenant_id);
+    r.set_state(RequestState::kPrefilling);
+    r.prefilled = 0;
+    s_.prefilling.push_back(id);
+    taken[id] = true;
+  }
+  std::erase_if(s_.queue, [&](std::size_t id) { return taken[id]; });
+}
+
+void Ticker::prefill_round() {
+  // One prefill chunk round over the whole prefill flight.
+  double total_new = 0.0;
+  for (const std::size_t id : s_.prefilling) {
+    const Request& r = requests_[id];
+    index_t chunk = r.prefill_target() - r.prefilled;
+    if (cfg_.prefill_chunk_tokens > 0) {
+      chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
+    }
+    total_new += static_cast<double>(chunk);
+  }
+  const auto count = static_cast<index_t>(s_.prefilling.size());
+  // Mean new tokens per sequence prices the chunk; with a uniform
+  // flight (the goldens path) this is exactly each sequence's prompt.
+  const auto tokens_per_seq = static_cast<index_t>(
+      std::llround(total_new / static_cast<double>(count)));
+  s_.now +=
+      model_.prefill_seconds(count, std::max<index_t>(1, tokens_per_seq));
+  ++s_.prefill_steps;
+
+  std::vector<std::size_t> still_prefilling;
+  for (const std::size_t id : s_.prefilling) {
+    Request& r = requests_[id];
+    index_t chunk = r.prefill_target() - r.prefilled;
+    if (cfg_.prefill_chunk_tokens > 0) {
+      chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
+    }
+    r.prefilled += chunk;
+    add_service(r.tenant_id, chunk);
+    if (r.prefilled < r.prefill_target()) {
+      still_prefilling.push_back(id);
+      continue;
+    }
+    r.set_state(RequestState::kRunning);
+    if (r.first_token_s < 0) {
+      r.first_token_s = s_.now;  // prefill emits #1
+      if (cfg_.slo.ttft_deadline_ms > 0 &&
+          request_ttft_ms(r) > cfg_.slo.ttft_deadline_ms) {
+        ++s_.slo_ttft_violations;
+      }
+    }
+    r.generated = std::max<index_t>(r.generated, 1);
+    s_.running.push_back(id);
+  }
+  s_.prefilling = std::move(still_prefilling);
+}
+
+void Ticker::decode_round() {
+  const SpeculationConfig& spec = cfg_.speculation;
+
+  // Grow every running sequence's KV for the tokens this step commits
+  // (one for plain decode, the speculative commit otherwise); preempt
+  // the policy's victim when the budget runs dry.
+  for (std::size_t i = 0; i < s_.running.size();) {
+    Request& r = requests_[s_.running[i]];
+    bool preempted_self = false;
+    while (!s_.bm.grow_to(r.blocks,
+                          r.prompt_tokens + r.generated + commit_tokens(r) - 1,
+                          r.tenant_id)) {
+      MARLIN_ASSERT(!s_.running.empty());
+      const std::size_t victim = choose_victim_pos();
+      preempted_self = victim == i;
+      preempt_running_at(victim);
+      if (preempted_self) break;
+      if (victim < i) --i;  // `r` shifted one slot left; keep growing it
+    }
+    if (!preempted_self) ++i;
+  }
+  if (s_.running.empty()) return;
+
+  // One decode step for all running sequences: a plain one-token step,
+  // or a speculative round (draft proposes `depth` tokens sequentially,
+  // the target verifies every candidate in one batched step).
+  double ctx_sum = 0.0;
+  for (const std::size_t id : s_.running) {
+    ctx_sum += static_cast<double>(requests_[id].prompt_tokens) +
+               static_cast<double>(requests_[id].generated);
+  }
+  const auto batch = static_cast<index_t>(s_.running.size());
+  const double avg_ctx = ctx_sum / static_cast<double>(batch);
+  double t_step;
+  if (spec.enabled()) {
+    t_step = static_cast<double>(spec.depth) *
+                 draft_->decode_step_seconds(batch, avg_ctx) +
+             model_.verify_step_seconds(batch, avg_ctx, spec.depth);
+    ++s_.spec_rounds;
+    s_.spec_draft_tokens += spec.depth * batch;
+  } else {
+    t_step = model_.decode_step_seconds(batch, avg_ctx);
+  }
+  s_.now += t_step;
+  s_.batch_weighted += static_cast<double>(batch) * t_step;
+  s_.decode_time_total += t_step;
+  ++s_.decode_steps;
+
+  std::vector<std::size_t> still_running;
+  for (const std::size_t id : s_.running) {
+    Request& r = requests_[id];
+    const index_t committed = commit_tokens(r);
+    if (spec.enabled()) {
+      r.spec_credit =
+          r.spec_credit + spec_expected_ - static_cast<double>(committed);
+      s_.spec_committed_tokens += committed;
+    }
+    r.generated += committed;
+    add_service(r.tenant_id, committed);
+    if (r.generated >= r.output_tokens) {
+      r.finish_s = s_.now;
+      if (cfg_.slo.tpot_deadline_ms > 0 &&
+          request_tpot_ms(r) > cfg_.slo.tpot_deadline_ms) {
+        ++s_.slo_tpot_violations;
+      }
+      r.set_state(RequestState::kFinished);
+      s_.bm.free(r.blocks, r.tenant_id);
+    } else {
+      still_running.push_back(id);
+    }
+  }
+  s_.running = std::move(still_running);
+}
+
+void Ticker::step() {
+  if (!s_.prefilling.empty()) {
+    prefill_round();
+    return;  // EventLoop re-checks arrivals before the next engine step
+  }
+  if (s_.running.empty()) return;
+  decode_round();
+}
+
 }  // namespace
 
 Scheduler::Scheduler(const StepModel& model, SchedulerConfig cfg,
@@ -134,6 +547,7 @@ Scheduler::Scheduler(const StepModel& model, SchedulerConfig cfg,
     }
   }
   cfg_.speculation.validate();
+  cfg_.slo.validate();
   MARLIN_CHECK(!cfg_.speculation.enabled() || draft_model_ != nullptr,
                "speculative decoding needs a draft StepModel");
   if (cfg_.policy == SchedPolicy::kWeightedFair) {
@@ -151,401 +565,35 @@ Scheduler::Scheduler(const StepModel& model, SchedulerConfig cfg,
       }
     }
   }
+  if (cfg_.speculation.enabled()) {
+    spec_expected_ = cfg_.speculation.expected_tokens_per_round();
+  }
+}
+
+void Scheduler::register_tenants(ReplicaState& s,
+                                 const std::vector<Request>& requests) const {
+  for (const Request& r : requests) {
+    if (!s.tenant_specs.contains(r.tenant_id)) {
+      s.tenant_specs.emplace(r.tenant_id,
+                             tenant_spec_or_default(cfg_.tenants, r.tenant_id));
+      s.service_debt[r.tenant_id] = 0.0;
+    }
+  }
+}
+
+void Scheduler::admit(ReplicaState& s, std::vector<Request>& requests) const {
+  Ticker(cfg_, model_, draft_model_, spec_expected_, s, requests).admit();
+}
+
+void Scheduler::step(ReplicaState& s, std::vector<Request>& requests) const {
+  Ticker(cfg_, model_, draft_model_, spec_expected_, s, requests).step();
 }
 
 SchedStats Scheduler::run(const std::vector<TraceRequest>& trace,
                           const SimContext& ctx) const {
-  SchedStats stats;
-  BlockManager bm(cfg_.blocks);
-  const bool wfq = cfg_.policy == SchedPolicy::kWeightedFair;
-  const SpeculationConfig& spec = cfg_.speculation;
-  const double spec_expected =
-      spec.enabled() ? spec.expected_tokens_per_round() : 1.0;
-
-  std::vector<Request>& requests = stats.requests;
-  requests.reserve(trace.size());
-  index_t max_context = 1;
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    requests.emplace_back(static_cast<index_t>(i), trace[i].arrival_s,
-                          trace[i].input_tokens, trace[i].output_tokens,
-                          trace[i].tenant_id);
-    max_context =
-        std::max(max_context, trace[i].input_tokens + trace[i].output_tokens);
-  }
-  model_.warm_decode_cache(ctx, cfg_.max_batch,
-                            static_cast<double>(max_context));
-  if (draft_model_ != nullptr) {
-    draft_model_->warm_decode_cache(ctx, cfg_.max_batch,
-                                    static_cast<double>(max_context));
-  }
-
-  // WFQ state: one resolved spec and one weighted service-debt counter
-  // (tokens served / weight) per tenant appearing in the trace.
-  std::map<index_t, TenantSpec> tenant_specs;
-  std::map<index_t, double> service_debt;
-  for (const Request& r : requests) {
-    if (!tenant_specs.contains(r.tenant_id)) {
-      tenant_specs.emplace(r.tenant_id,
-                           tenant_spec_or_default(cfg_.tenants, r.tenant_id));
-      service_debt[r.tenant_id] = 0.0;
-    }
-  }
-  const auto spec_of = [&](index_t tenant) -> const TenantSpec& {
-    return tenant_specs.find(tenant)->second;
-  };
-  const auto add_service = [&](index_t tenant, index_t tokens) {
-    if (!wfq) return;
-    service_debt[tenant] +=
-        static_cast<double>(tokens) / spec_of(tenant).weight;
-  };
-
-  std::deque<std::size_t> queue;
-  std::vector<std::size_t> prefilling;  // admission order, this flight
-  std::vector<std::size_t> running;     // admission order
-  std::size_t next_arrival = 0;
-
-  double now = 0.0;
-  double batch_weighted = 0.0;
-  double decode_time_total = 0.0;
-
-  // WFQ admission key; smaller admits first. Weighted service debt plus a
-  // fixed penalty per priority tier, minus a linear aging credit: a
-  // waiting request's key falls without bound while everyone else's only
-  // rises with service, so no tier or debt can starve it.
-  const auto wfq_key = [&](const Request& r) {
-    const TenantSpec& t = spec_of(r.tenant_id);
-    return service_debt.find(r.tenant_id)->second +
-           static_cast<double>(t.tier) * cfg_.wfq_tier_penalty_tokens -
-           cfg_.wfq_aging_tokens_per_s * (now - r.arrival_s);
-  };
-
-  const auto admit_arrivals = [&](double upto) {
-    while (next_arrival < requests.size() &&
-           requests[next_arrival].arrival_s <= upto) {
-      queue.push_back(next_arrival);
-      ++next_arrival;
-    }
-  };
-  const auto active = [&] { return prefilling.size() + running.size(); };
-
-  // A request that can never hold prompt + output tokens under the budget
-  // (keeping the watermark free for its admission) would starve the queue
-  // forever; refuse it outright.
-  const auto never_fits = [&](const Request& r) {
-    return !bm.unlimited() &&
-           bm.blocks_for_tokens(r.max_kv_tokens()) + bm.watermark_blocks() >
-               bm.total_blocks();
-  };
-
-  const auto preempt_running_at = [&](std::size_t pos) {
-    MARLIN_ASSERT(pos < running.size());
-    const std::size_t victim = running[pos];
-    running.erase(running.begin() + static_cast<std::ptrdiff_t>(pos));
-    Request& v = requests[victim];
-    v.set_state(RequestState::kPreempted);
-    bm.free(v.blocks, v.tenant_id);
-    v.prefilled = 0;
-    ++v.preemptions;
-    ++stats.preemptions;
-    queue.push_front(victim);
-  };
-
-  // The most over-quota tenant's last-admitted running sequence: the
-  // single victim-preference rule shared by decode-growth preemption
-  // (live BlockManager state) and admission reclaim (snapshot planning).
-  // Skips `exclude_tenant`'s sequences (-1 excludes nobody — tenant ids
-  // are >= 0) and positions flagged in `skip` (may be null); `over_fn`
-  // maps a tenant to its over-quota block count. Returns running.size()
-  // when every considered tenant is within quota.
-  const auto most_over_quota_victim =
-      [&](index_t exclude_tenant, const auto& over_fn,
-          const std::vector<bool>* skip) -> std::size_t {
-    std::size_t best = running.size();
-    index_t worst_over = 0;
-    for (std::size_t i = running.size(); i-- > 0;) {
-      const Request& v = requests[running[i]];
-      if ((skip != nullptr && (*skip)[i]) || v.tenant_id == exclude_tenant) {
-        continue;
-      }
-      const index_t over = over_fn(v.tenant_id);
-      if (over > worst_over) {
-        worst_over = over;
-        best = i;
-      }
-    }
-    return best;
-  };
-  const auto live_over_quota = [&](index_t tenant) {
-    return bm.over_quota_blocks(tenant);
-  };
-
-  // Decode-growth victim: under WFQ, the last-admitted sequence of the
-  // most over-quota tenant (borrowers give their blocks back first); the
-  // last-admitted sequence otherwise — and under WFQ when every tenant is
-  // within quota, which reproduces the legacy rule.
-  const auto choose_victim_pos = [&]() -> std::size_t {
-    MARLIN_ASSERT(!running.empty());
-    if (wfq) {
-      const std::size_t best =
-          most_over_quota_victim(-1, live_over_quota, nullptr);
-      if (best < running.size()) return best;
-    }
-    return running.size() - 1;
-  };
-
-  // WFQ borrow-and-reclaim: when a within-quota tenant's admission is
-  // blocked, preempt over-quota borrowers (other tenants, last-admitted
-  // first, most over-quota tenant first) until the candidate fits. A
-  // quota is thus a capacity *guarantee*, while idle blocks stay
-  // lendable. The greedy victim selection is planned on a snapshot
-  // first and only executed when it fully covers the admission —
-  // otherwise nobody is preempted, because a partial reclaim would
-  // destroy victims' KV (recompute on re-admission) without admitting
-  // anyone.
-  const auto reclaim_for = [&](const Request& r) {
-    const index_t needed = bm.blocks_for_tokens(r.prefill_target());
-    if (!bm.within_quota(r.tenant_id, needed)) {
-      return;  // borrowers wait for genuinely free blocks
-    }
-    // Snapshot of the quantities the greedy loop mutates.
-    index_t free = bm.free_blocks();
-    std::map<index_t, index_t> used;
-    for (const std::size_t id : running) {
-      const index_t tenant = requests[id].tenant_id;
-      if (!used.contains(tenant)) used[tenant] = bm.tenant_used_blocks(tenant);
-    }
-    const auto snapshot_over_quota = [&](index_t tenant) {
-      const index_t quota = bm.effective_quota(tenant);
-      if (quota == kNoQuota) return index_t{0};
-      return std::max<index_t>(0, used.find(tenant)->second - quota);
-    };
-    std::vector<bool> planned(running.size(), false);
-    std::vector<std::size_t> plan;  // victim request ids, greedy order
-    while (needed + bm.watermark_blocks() > free) {
-      const std::size_t best =
-          most_over_quota_victim(r.tenant_id, snapshot_over_quota, &planned);
-      if (best >= running.size()) return;  // infeasible: preempt nobody
-      planned[best] = true;
-      plan.push_back(running[best]);
-      const auto held =
-          static_cast<index_t>(requests[running[best]].blocks.size());
-      free += held;
-      used[requests[running[best]].tenant_id] -= held;
-    }
-    for (const std::size_t victim_id : plan) {
-      const auto pos = static_cast<std::size_t>(
-          std::find(running.begin(), running.end(), victim_id) -
-          running.begin());
-      preempt_running_at(pos);
-    }
-  };
-
-  // Committed tokens of one speculative propose-then-verify round for `r`:
-  // the fractional accumulator keeps the long-run average at
-  // `spec_expected` while every round commits a whole number of tokens
-  // (at least the target model's own token, at most what is still owed).
-  const auto commit_tokens = [&](const Request& r) -> index_t {
-    if (!spec.enabled()) return 1;
-    const index_t remaining = r.output_tokens - r.generated;
-    const auto c =
-        static_cast<index_t>(std::floor(r.spec_credit + spec_expected));
-    return std::clamp<index_t>(c, 1, std::max<index_t>(1, remaining));
-  };
-
-  while (next_arrival < requests.size() || !queue.empty() ||
-         !prefilling.empty() || !running.empty()) {
-    admit_arrivals(now);
-
-    if (queue.empty() && prefilling.empty() && running.empty()) {
-      // Idle: jump to the next arrival.
-      now = requests[next_arrival].arrival_s;
-      admit_arrivals(now);
-    }
-
-    // Admission in policy order, bounded by batch cap and KV watermark.
-    if (!queue.empty() && active() < static_cast<std::size_t>(cfg_.max_batch)) {
-      std::vector<std::size_t> order(queue.begin(), queue.end());
-      if (wfq) {
-        // Keys are loop-invariant during the sort; compute each once
-        // instead of per comparison (stable on ties, like the other
-        // policies).
-        std::vector<std::pair<double, std::size_t>> keyed;
-        keyed.reserve(order.size());
-        for (const std::size_t id : order) {
-          keyed.emplace_back(wfq_key(requests[id]), id);
-        }
-        std::stable_sort(keyed.begin(), keyed.end(),
-                         [](const auto& a, const auto& b) {
-                           return a.first < b.first;
-                         });
-        for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
-      } else if (cfg_.policy != SchedPolicy::kFcfs) {
-        std::stable_sort(order.begin(), order.end(),
-                         [&](std::size_t a, std::size_t b) {
-                           return policy_key(cfg_.policy, requests[a]) <
-                                  policy_key(cfg_.policy, requests[b]);
-                         });
-      }
-      std::vector<bool> taken(requests.size(), false);
-      for (const std::size_t id : order) {
-        if (active() >= static_cast<std::size_t>(cfg_.max_batch)) break;
-        Request& r = requests[id];
-        if (never_fits(r)) {
-          r.rejected = true;
-          r.set_state(RequestState::kFinished);
-          ++stats.rejected;
-          taken[id] = true;
-          continue;
-        }
-        if (wfq && !bm.can_admit(r.prefill_target())) {
-          reclaim_for(r);
-        }
-        if (!bm.can_admit(r.prefill_target())) {
-          // FCFS and SJF respect head-of-line order; max-util and WFQ
-          // keep scanning for anything that still fits.
-          if (cfg_.policy == SchedPolicy::kMaxUtilization || wfq) continue;
-          break;
-        }
-        r.blocks = bm.allocate(bm.blocks_for_tokens(r.prefill_target()),
-                               r.tenant_id);
-        r.set_state(RequestState::kPrefilling);
-        r.prefilled = 0;
-        prefilling.push_back(id);
-        taken[id] = true;
-      }
-      std::erase_if(queue, [&](std::size_t id) { return taken[id]; });
-    }
-
-    // One prefill chunk round over the whole prefill flight.
-    if (!prefilling.empty()) {
-      double total_new = 0.0;
-      for (const std::size_t id : prefilling) {
-        const Request& r = requests[id];
-        index_t chunk = r.prefill_target() - r.prefilled;
-        if (cfg_.prefill_chunk_tokens > 0) {
-          chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
-        }
-        total_new += static_cast<double>(chunk);
-      }
-      const auto count = static_cast<index_t>(prefilling.size());
-      // Mean new tokens per sequence prices the chunk; with a uniform
-      // flight (the goldens path) this is exactly each sequence's prompt.
-      const auto tokens_per_seq = static_cast<index_t>(
-          std::llround(total_new / static_cast<double>(count)));
-      now += model_.prefill_seconds(count, std::max<index_t>(1,
-                                                              tokens_per_seq));
-      ++stats.prefill_steps;
-
-      std::vector<std::size_t> still_prefilling;
-      for (const std::size_t id : prefilling) {
-        Request& r = requests[id];
-        index_t chunk = r.prefill_target() - r.prefilled;
-        if (cfg_.prefill_chunk_tokens > 0) {
-          chunk = std::min(chunk, cfg_.prefill_chunk_tokens);
-        }
-        r.prefilled += chunk;
-        add_service(r.tenant_id, chunk);
-        if (r.prefilled < r.prefill_target()) {
-          still_prefilling.push_back(id);
-          continue;
-        }
-        r.set_state(RequestState::kRunning);
-        if (r.first_token_s < 0) r.first_token_s = now;  // prefill emits #1
-        r.generated = std::max<index_t>(r.generated, 1);
-        running.push_back(id);
-      }
-      prefilling = std::move(still_prefilling);
-      continue;  // re-check arrivals before the next engine step
-    }
-
-    if (running.empty()) continue;
-
-    // Grow every running sequence's KV for the tokens this step commits
-    // (one for plain decode, the speculative commit otherwise); preempt
-    // the policy's victim when the budget runs dry.
-    for (std::size_t i = 0; i < running.size();) {
-      Request& r = requests[running[i]];
-      bool preempted_self = false;
-      while (!bm.grow_to(r.blocks,
-                         r.prompt_tokens + r.generated + commit_tokens(r) - 1,
-                         r.tenant_id)) {
-        MARLIN_ASSERT(!running.empty());
-        const std::size_t victim = choose_victim_pos();
-        preempted_self = victim == i;
-        preempt_running_at(victim);
-        if (preempted_self) break;
-        if (victim < i) --i;  // `r` shifted one slot left; keep growing it
-      }
-      if (!preempted_self) ++i;
-    }
-    if (running.empty()) continue;
-
-    // One decode step for all running sequences: a plain one-token step,
-    // or a speculative round (draft proposes `depth` tokens sequentially,
-    // the target verifies every candidate in one batched step).
-    double ctx_sum = 0.0;
-    for (const std::size_t id : running) {
-      ctx_sum += static_cast<double>(requests[id].prompt_tokens) +
-                 static_cast<double>(requests[id].generated);
-    }
-    const auto batch = static_cast<index_t>(running.size());
-    const double avg_ctx = ctx_sum / static_cast<double>(batch);
-    double t_step;
-    if (spec.enabled()) {
-      t_step = static_cast<double>(spec.depth) *
-                   draft_model_->decode_step_seconds(batch, avg_ctx) +
-               model_.verify_step_seconds(batch, avg_ctx, spec.depth);
-      ++stats.spec_rounds;
-      stats.spec_draft_tokens += spec.depth * batch;
-    } else {
-      t_step = model_.decode_step_seconds(batch, avg_ctx);
-    }
-    now += t_step;
-    batch_weighted += static_cast<double>(batch) * t_step;
-    decode_time_total += t_step;
-    ++stats.decode_steps;
-
-    std::vector<std::size_t> still_running;
-    for (const std::size_t id : running) {
-      Request& r = requests[id];
-      const index_t committed = commit_tokens(r);
-      if (spec.enabled()) {
-        r.spec_credit = r.spec_credit + spec_expected -
-                        static_cast<double>(committed);
-        stats.spec_committed_tokens += committed;
-      }
-      r.generated += committed;
-      add_service(r.tenant_id, committed);
-      if (r.generated >= r.output_tokens) {
-        r.finish_s = now;
-        r.set_state(RequestState::kFinished);
-        bm.free(r.blocks, r.tenant_id);
-      } else {
-        still_running.push_back(id);
-      }
-    }
-    running = std::move(still_running);
-  }
-
-  ServingMetrics& m = stats.metrics;
-  std::vector<double> tpots, ttfts;
-  for (const Request& r : requests) {
-    if (r.finish_s < 0) continue;
-    ++m.completed;
-    ttfts.push_back(request_ttft_ms(r));
-    tpots.push_back(request_tpot_ms(r));
-  }
-  if (!tpots.empty()) {
-    m.mean_tpot_ms = mean(tpots);
-    m.mean_ttft_ms = mean(ttfts);
-    m.p90_tpot_ms = percentile(tpots, 90.0);
-    m.p90_ttft_ms = percentile(ttfts, 90.0);
-  }
-  m.mean_batch =
-      decode_time_total > 0 ? batch_weighted / decode_time_total : 0.0;
-  stats.peak_kv_blocks = bm.peak_used_blocks();
-  stats.sim_end_s = now;
-  return stats;
+  cluster::ClusterStats stats =
+      cluster::EventLoop(*this, cluster::ClusterOptions{}).run(trace, ctx);
+  return std::move(stats.sched);
 }
 
 }  // namespace marlin::serve::sched

@@ -1,27 +1,32 @@
 #pragma once
-// Continuous-batching scheduler over the engine cost model.
+// Continuous-batching scheduler policy over the engine cost model.
 //
-// A discrete-event clock advances through engine steps (prefill chunks
-// and decode steps). Each scheduling round:
+// The Scheduler is a *passive* per-replica policy object: it owns no
+// clock and no loop. The cluster-level `cluster::EventLoop` (which owns
+// the discrete-event clock for a whole fleet of replicas) *ticks* it —
+// one `admit` pass plus one `step` per tick — against a `ReplicaState`
+// holding that replica's mutable serving state. Each tick:
 //
-//   1. arrivals up to `now` join the wait queue;
-//   2. queued requests are admitted in policy order while the batch cap
-//      and the KV watermark allow, allocating their prefill blocks;
-//   3. if any request is prefilling, one chunked-prefill step runs (the
-//      whole remaining prompt when `prefill_chunk_tokens` is 0) — newly
-//      arrived requests can join the prefill flight between chunks;
+//   1. (EventLoop) arrivals up to the replica's clock join its queue;
+//   2. `admit`: queued requests are admitted in policy order while the
+//      batch cap and the KV watermark allow, allocating their prefill
+//      blocks; hopeless requests are shed when an SLO is configured;
+//   3. `step`: if any request is prefilling, one chunked-prefill step
+//      runs (the whole remaining prompt when `prefill_chunk_tokens` is
+//      0) — newly arrived requests can join the prefill flight between
+//      chunks;
 //   4. otherwise one decode step advances every running sequence by one
 //      token. Before the step each sequence's KV is grown into fresh
 //      blocks; when the budget is exhausted the *last-admitted* running
 //      sequence is preempted (blocks freed, recompute on re-admission,
 //      re-queued at the front).
 //
-// Under FCFS, an unlimited block budget and unchunked prefill this
-// reduces — engine call for engine call, floating-point add for add — to
-// the original `simulate_serving` loop, which the fig15/fig16 goldens
-// pin down.
+// `Scheduler::run` is the single-replica convenience wrapper: it drives
+// a 1-replica `cluster::EventLoop`, which reduces — engine call for
+// engine call, floating-point add for add — to the original
+// `simulate_serving` loop, which the fig15/fig16 goldens pin down.
 //
-// The event loop itself is strictly serial (its results are part of the
+// The event loop is strictly serial (its results are part of the
 // bit-identical-across-threads contract); parallelism comes from warming
 // the engine's decode memo on the SimContext pool before the loop runs.
 
@@ -43,6 +48,8 @@
 // keeps its accumulator; its committed tokens are recomputed like any
 // others), and the tensor/pipeline-parallel ParallelEngine.
 
+#include <deque>
+#include <map>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -96,6 +103,31 @@ struct SpeculationConfig {
   void validate() const;
 };
 
+/// Per-request streaming service-level objectives. Deadlines of 0 are
+/// "no deadline" — the default, which leaves every legacy code path and
+/// golden untouched.
+///
+/// * `ttft_deadline_ms` drives **deadline-aware admission with
+///   shed-on-hopeless**: at every admission pass a queued request whose
+///   best case — admitted right now, prefilled alone — would already
+///   miss the deadline is shed (state kFinished, `Request::shed`, no
+///   tokens produced) instead of wasting KV blocks and batch slots on a
+///   response the client has timed out on. Requests that already
+///   emitted their first token (preempted ones) are never shed.
+/// * `tpot_deadline_ms` is accounted, not enforced: a completed request
+///   whose realized TPOT exceeds it counts as a violation
+///   (`SchedStats::slo_tpot_violations`), as does a completed request
+///   that was admitted in time but still missed its TTFT deadline.
+struct SloConfig {
+  double ttft_deadline_ms = 0;  // 0 = no TTFT deadline
+  double tpot_deadline_ms = 0;  // 0 = no TPOT deadline
+
+  [[nodiscard]] bool enabled() const {
+    return ttft_deadline_ms > 0 || tpot_deadline_ms > 0;
+  }
+  void validate() const;
+};
+
 struct SchedulerConfig {
   SchedPolicy policy = SchedPolicy::kFcfs;
   index_t max_batch = 128;
@@ -118,6 +150,58 @@ struct SchedulerConfig {
 
   /// Speculative decoding; requires a draft model when enabled.
   SpeculationConfig speculation;
+
+  /// Streaming SLOs (TTFT shed-on-hopeless + TPOT violation accounting);
+  /// disabled by default.
+  SloConfig slo;
+};
+
+/// One replica's mutable serving state — everything the passive
+/// Scheduler policy is ticked against. The cluster `EventLoop` owns one
+/// per replica (wrapped in `cluster::Replica`); request objects
+/// themselves live in the cluster-wide trace-order vector and are
+/// referenced here by index.
+struct ReplicaState {
+  explicit ReplicaState(const BlockManagerConfig& blocks) : bm(blocks) {}
+
+  BlockManager bm;
+  std::deque<std::size_t> queue;        // waiting request indices
+  std::vector<std::size_t> prefilling;  // admission order, this flight
+  std::vector<std::size_t> running;     // admission order
+  /// The replica's discrete-event clock: the time its last engine step
+  /// completed. Advanced by `Scheduler::step` and (when idle) by the
+  /// EventLoop jumping to the next routed arrival.
+  double now = 0;
+
+  // Decode-batch bookkeeping for ServingMetrics::mean_batch.
+  double batch_weighted = 0;
+  double decode_time_total = 0;
+
+  // WFQ state: one resolved spec and one weighted service-debt counter
+  // (tokens served / weight) per tenant appearing in the trace.
+  std::map<index_t, TenantSpec> tenant_specs;
+  std::map<index_t, double> service_debt;
+
+  // Counters the EventLoop sums into SchedStats.
+  index_t preemptions = 0;
+  index_t rejected = 0;
+  index_t shed = 0;
+  index_t prefill_steps = 0;
+  index_t decode_steps = 0;
+  index_t spec_rounds = 0;
+  index_t spec_draft_tokens = 0;
+  index_t spec_committed_tokens = 0;
+  index_t slo_ttft_violations = 0;
+  index_t slo_tpot_violations = 0;
+
+  /// Requests in flight or waiting — a busy replica must be ticked.
+  [[nodiscard]] bool busy() const {
+    return !queue.empty() || !prefilling.empty() || !running.empty();
+  }
+  /// Admitted sequences (prefilling + running).
+  [[nodiscard]] std::size_t active() const {
+    return prefilling.size() + running.size();
+  }
 };
 
 /// Everything one simulation produced: the golden-stable metrics plus
@@ -127,10 +211,15 @@ struct SchedStats {
   ServingMetrics metrics;
   index_t preemptions = 0;
   index_t rejected = 0;  // could never fit in the KV budget
+  index_t shed = 0;      // SLO shed-on-hopeless (kFinished, no tokens)
   index_t prefill_steps = 0;
   index_t decode_steps = 0;
   index_t peak_kv_blocks = 0;
   double sim_end_s = 0;
+  /// SLO accounting (0 when no deadline is configured): completed
+  /// requests that missed their TTFT / TPOT deadline.
+  index_t slo_ttft_violations = 0;
+  index_t slo_tpot_violations = 0;
   /// Speculative decoding counters (all 0 when speculation is off):
   /// propose-then-verify rounds, draft tokens proposed, tokens committed.
   index_t spec_rounds = 0;
@@ -166,18 +255,60 @@ class Scheduler {
   Scheduler(const StepModel& model, SchedulerConfig cfg,
             const StepModel* draft_model = nullptr);
 
-  /// Runs the trace to completion. `ctx` only pre-warms the step model's
-  /// decode memo (per-rank step evaluation on the shared pool); the
-  /// stats are bit-identical for every context.
+  /// Runs the trace to completion on a single replica — a convenience
+  /// wrapper that drives a 1-replica `cluster::EventLoop` with default
+  /// cluster options, reproducing the pre-cluster scheduler loop
+  /// bit-for-bit. `ctx` only pre-warms the step model's decode memo
+  /// (per-rank step evaluation on the shared pool); the stats are
+  /// bit-identical for every context.
   [[nodiscard]] SchedStats run(
       const std::vector<TraceRequest>& trace,
       const SimContext& ctx = SimContext::serial_context()) const;
+
+  // ---- passive tick API (driven by cluster::EventLoop) -----------------
+
+  /// Fresh per-replica state carved to this scheduler's block budget.
+  [[nodiscard]] ReplicaState make_replica_state() const {
+    return ReplicaState(cfg_.blocks);
+  }
+
+  /// Registers every tenant appearing in `requests` in `s` (resolved
+  /// spec + zeroed service debt), exactly as the legacy loop did before
+  /// its first iteration. Idempotent; call once per replica before
+  /// ticking (including replicas the autoscaler adds mid-run).
+  void register_tenants(ReplicaState& s,
+                        const std::vector<Request>& requests) const;
+
+  /// One admission pass in policy order, bounded by the batch cap and KV
+  /// watermark: rejects never-fitting requests, sheds SLO-hopeless ones,
+  /// reclaims quota under WFQ, and moves admitted requests to
+  /// `s.prefilling`.
+  void admit(ReplicaState& s, std::vector<Request>& requests) const;
+
+  /// One engine step at `s.now`: a chunked-prefill round if any request
+  /// is prefilling, otherwise KV growth / preemption plus one decode (or
+  /// speculative propose-then-verify) round for every running sequence.
+  /// Advances `s.now`; a no-op when nothing is admitted.
+  void step(ReplicaState& s, std::vector<Request>& requests) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const { return cfg_; }
+  [[nodiscard]] const StepModel& model() const { return model_; }
+  [[nodiscard]] const StepModel* draft_model() const { return draft_model_; }
 
  private:
   const StepModel& model_;
   const StepModel* draft_model_;
   SchedulerConfig cfg_;
+  double spec_expected_ = 1.0;  // expected committed tokens per round
 };
+
+/// The legacy metrics tail over the final request states (trace order):
+/// mean/p90 TTFT and TPOT over completed requests, plus the
+/// decode-time-weighted mean batch. Field semantics predate the
+/// scheduler subsystem — golden tables depend on them.
+[[nodiscard]] ServingMetrics metrics_from_requests(
+    const std::vector<Request>& requests, double batch_weighted,
+    double decode_time_total);
 
 }  // namespace sched
 }  // namespace marlin::serve

@@ -8,9 +8,9 @@
 
 namespace marlin::serve {
 
-sched::SchedStats simulate_serving_detailed(const Engine& engine,
-                                            const ServingConfig& cfg,
-                                            const SimContext& ctx) {
+cluster::ClusterStats simulate_cluster_detailed(const Engine& engine,
+                                                const ServingConfig& cfg,
+                                                const SimContext& ctx) {
   sched::WorkloadConfig w;
   w.shape = cfg.shape;
   w.qps = cfg.qps;
@@ -62,6 +62,7 @@ sched::SchedStats simulate_serving_detailed(const Engine& engine,
   sc.blocks.num_blocks = kv_blocks;
   sc.tenants = cfg.tenants;
   sc.speculation = cfg.speculation;
+  sc.slo = cfg.slo;
 
   // The draft engine shares the target's device, format and clocks — only
   // the model differs (TinyLlama-1.1B unless configured). It stays on a
@@ -76,7 +77,14 @@ sched::SchedStats simulate_serving_detailed(const Engine& engine,
   }
 
   const sched::Scheduler scheduler(model, sc, draft ? &*draft : nullptr);
-  return scheduler.run(sched::generate_trace(w), ctx);
+  return cluster::EventLoop(scheduler, cfg.cluster)
+      .run(sched::generate_trace(w), ctx);
+}
+
+sched::SchedStats simulate_serving_detailed(const Engine& engine,
+                                            const ServingConfig& cfg,
+                                            const SimContext& ctx) {
+  return std::move(simulate_cluster_detailed(engine, cfg, ctx).sched);
 }
 
 ServingMetrics simulate_serving(const Engine& engine,

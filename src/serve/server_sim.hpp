@@ -9,6 +9,7 @@
 // fig15/fig16 golden tables hold — while the extra knobs open the
 // scheduler's policy, workload and KV-budget space to the benches.
 
+#include "serve/cluster/event_loop.hpp"
 #include "serve/engine.hpp"
 #include "serve/parallel/parallel_config.hpp"
 #include "serve/sched/scheduler.hpp"
@@ -57,11 +58,28 @@ struct ServingConfig {
   /// device while the target verifies across the rank grid.
   sched::SpeculationConfig speculation;
   ModelConfig draft_model{};
+
+  /// Streaming SLOs (TTFT shed-on-hopeless admission + TPOT violation
+  /// accounting); disabled by default, which leaves every legacy path and
+  /// golden untouched.
+  sched::SloConfig slo;
+
+  /// Cluster shape: replica count, placement policy, autoscaler. The
+  /// default 1-replica round-robin cluster reproduces the single-engine
+  /// goldens byte-for-byte (each replica carves its own `kv_blocks`
+  /// budget; the step-model memo is shared).
+  cluster::ClusterOptions cluster{};
 };
 
-/// Full scheduler statistics (metrics + preemptions, KV peak, per-request
-/// outcomes). `ctx` pre-warms the engine's decode memo on its pool; the
+/// Full cluster statistics: the fleet-summed SchedStats plus per-replica
+/// accounting. `ctx` pre-warms the engine's decode memo on its pool; the
 /// results are bit-identical for every context.
+cluster::ClusterStats simulate_cluster_detailed(
+    const Engine& engine, const ServingConfig& cfg,
+    const SimContext& ctx = SimContext::serial_context());
+
+/// Full scheduler statistics (metrics + preemptions, KV peak, per-request
+/// outcomes) — the `.sched` slice of `simulate_cluster_detailed`.
 sched::SchedStats simulate_serving_detailed(
     const Engine& engine, const ServingConfig& cfg,
     const SimContext& ctx = SimContext::serial_context());

@@ -1,0 +1,387 @@
+// Cluster serving tier: single-replica EventLoop equivalence with the
+// legacy scheduler loop (including through the server_sim path), router
+// placement determinism, replica add/drain lifecycle, SLO shed
+// accounting, autoscaler round trips with no KV-block leaks, and config
+// validation.
+
+#include <gtest/gtest.h>
+
+#include "serve/server_sim.hpp"
+
+namespace marlin::serve::cluster {
+namespace {
+
+const Engine& test_engine() {
+  static const Engine engine = [] {
+    EngineConfig cfg;
+    cfg.model = llama2_7b();
+    cfg.gpu = gpusim::rtxa6000();
+    cfg.format = WeightFormat::kMarlin;
+    return Engine(cfg);
+  }();
+  return engine;
+}
+
+sched::SchedulerConfig sched_cfg(index_t kv_blocks) {
+  sched::SchedulerConfig cfg;
+  cfg.blocks.block_size = 16;
+  cfg.blocks.num_blocks = kv_blocks;
+  return cfg;
+}
+
+std::vector<sched::TraceRequest> make_trace(
+    double qps, double duration_s,
+    sched::WorkloadShape shape = sched::WorkloadShape::kPoisson,
+    std::vector<double> tenant_shares = {}) {
+  sched::WorkloadConfig w;
+  w.shape = shape;
+  w.qps = qps;
+  w.duration_s = duration_s;
+  w.tenant_shares = std::move(tenant_shares);
+  return sched::generate_trace(w);
+}
+
+// Bitwise equality of everything the goldens depend on plus the full
+// per-request outcome — "equivalent" here means equivalent to the double.
+void expect_sched_equal(const sched::SchedStats& a,
+                        const sched::SchedStats& b) {
+  EXPECT_EQ(a.metrics.mean_tpot_ms, b.metrics.mean_tpot_ms);
+  EXPECT_EQ(a.metrics.mean_ttft_ms, b.metrics.mean_ttft_ms);
+  EXPECT_EQ(a.metrics.p90_tpot_ms, b.metrics.p90_tpot_ms);
+  EXPECT_EQ(a.metrics.p90_ttft_ms, b.metrics.p90_ttft_ms);
+  EXPECT_EQ(a.metrics.mean_batch, b.metrics.mean_batch);
+  EXPECT_EQ(a.metrics.completed, b.metrics.completed);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.prefill_steps, b.prefill_steps);
+  EXPECT_EQ(a.decode_steps, b.decode_steps);
+  EXPECT_EQ(a.peak_kv_blocks, b.peak_kv_blocks);
+  EXPECT_EQ(a.sim_end_s, b.sim_end_s);
+  EXPECT_EQ(a.slo_ttft_violations, b.slo_ttft_violations);
+  EXPECT_EQ(a.slo_tpot_violations, b.slo_tpot_violations);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].first_token_s, b.requests[i].first_token_s);
+    EXPECT_EQ(a.requests[i].finish_s, b.requests[i].finish_s);
+    EXPECT_EQ(a.requests[i].generated, b.requests[i].generated);
+    EXPECT_EQ(a.requests[i].preemptions, b.requests[i].preemptions);
+  }
+}
+
+// ------------------------------------------- single-replica equivalence
+
+TEST(SingleReplicaEquivalence, EventLoopMatchesSchedulerRunAllPlacements) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(96));
+  const auto trace = make_trace(6.0, 20.0);
+  const sched::SchedStats base = sch.run(trace);
+  EXPECT_GT(base.metrics.completed, 0);
+  // Placement cannot matter with one replica; every policy must reduce to
+  // the legacy loop bit-for-bit.
+  for (const auto placement :
+       {Placement::kRoundRobin, Placement::kLeastLoaded,
+        Placement::kSessionAffinity}) {
+    ClusterOptions opts;
+    opts.placement = placement;
+    const ClusterStats cs = EventLoop(sch, opts).run(trace);
+    expect_sched_equal(base, cs.sched);
+    ASSERT_EQ(cs.replicas.size(), 1u);
+    EXPECT_EQ(cs.replicas[0].routed,
+              static_cast<index_t>(trace.size()));
+    EXPECT_EQ(cs.replicas[0].leaked_kv_blocks, 0);
+    EXPECT_EQ(cs.peak_replicas, 1);
+    EXPECT_EQ(cs.replicas_added, 0);
+    EXPECT_EQ(cs.replicas_drained, 0);
+  }
+}
+
+TEST(SingleReplicaEquivalence, ServerSimPathsAgree) {
+  ServingConfig sc;
+  sc.qps = 4.0;
+  sc.duration_s = 15.0;
+  sc.kv_blocks = 96;
+  const sched::SchedStats legacy =
+      simulate_serving_detailed(test_engine(), sc);
+  const ClusterStats cs = simulate_cluster_detailed(test_engine(), sc);
+  expect_sched_equal(legacy, cs.sched);
+  // No SLO configured: the new accounting must stay inert.
+  EXPECT_EQ(cs.sched.shed, 0);
+  EXPECT_EQ(cs.sched.slo_ttft_violations, 0);
+  EXPECT_EQ(cs.sched.slo_tpot_violations, 0);
+  // Single-replica runs still stamp the placement.
+  for (const auto& r : cs.sched.requests) EXPECT_EQ(r.replica, 0);
+}
+
+TEST(SingleReplicaEquivalence, RepeatRunsReproduceBitIdentically) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(64));
+  const auto trace = make_trace(8.0, 10.0);
+  const EventLoop loop(sch, ClusterOptions{});
+  expect_sched_equal(loop.run(trace).sched, loop.run(trace).sched);
+}
+
+// ------------------------------------------------------------- placement
+
+std::vector<sched::Request> some_requests(index_t n, index_t tenants = 1) {
+  std::vector<sched::Request> requests;
+  for (index_t i = 0; i < n; ++i) {
+    requests.emplace_back(i, /*arrival_s=*/0.1 * static_cast<double>(i),
+                          /*prompt_tokens=*/8, /*output_tokens=*/4,
+                          /*tenant_id=*/i % tenants);
+  }
+  return requests;
+}
+
+TEST(RouterPlacement, RoundRobinRotatesOverRoutableInIdOrder) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  std::deque<Replica> fleet;
+  for (index_t i = 0; i < 3; ++i) fleet.emplace_back(i, sch);
+  auto requests = some_requests(8);
+  Router router(Placement::kRoundRobin);
+  for (const std::size_t expected : {0u, 1u, 2u, 0u, 1u}) {
+    EXPECT_EQ(router.pick(requests[0], fleet, requests), expected);
+  }
+  // A drained replica drops out of the rotation.
+  fleet[1].begin_drain();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(router.pick(requests[0], fleet, requests), 1u);
+  }
+}
+
+TEST(RouterPlacement, LeastLoadedByOutstandingTokensTiesToLowestId) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  std::deque<Replica> fleet;
+  for (index_t i = 0; i < 3; ++i) fleet.emplace_back(i, sch);
+  auto requests = some_requests(4);
+  Router router(Placement::kLeastLoaded);
+  // All empty: tie goes to replica 0.
+  EXPECT_EQ(router.pick(requests[3], fleet, requests), 0u);
+  // Each delivery adds 8 + 4 = 12 outstanding tokens.
+  fleet[0].deliver(0, requests);
+  EXPECT_EQ(fleet[0].outstanding_tokens(requests), 12);
+  EXPECT_EQ(router.pick(requests[3], fleet, requests), 1u);
+  fleet[1].deliver(1, requests);
+  EXPECT_EQ(router.pick(requests[3], fleet, requests), 2u);
+  fleet[2].deliver(2, requests);  // all tied again
+  EXPECT_EQ(router.pick(requests[3], fleet, requests), 0u);
+}
+
+TEST(RouterPlacement, SessionAffinityPinsTenantsViaMix64) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  std::deque<Replica> fleet;
+  for (index_t i = 0; i < 3; ++i) fleet.emplace_back(i, sch);
+  auto requests = some_requests(16, /*tenants=*/8);
+  Router router(Placement::kSessionAffinity);
+  std::vector<std::size_t> hit(3, 0);
+  for (const auto& r : requests) {
+    const std::size_t picked = router.pick(r, fleet, requests);
+    // The placement is a pure function of the tenant id and fleet size —
+    // repeat picks (and the same tenant's later requests) pin to it.
+    EXPECT_EQ(picked,
+              mix64(static_cast<std::uint64_t>(r.tenant_id)) % 3u);
+    EXPECT_EQ(router.pick(r, fleet, requests), picked);
+    ++hit[picked];
+  }
+  // 8 tenants over 3 replicas: the mix spreads them across the fleet.
+  for (const std::size_t h : hit) EXPECT_GT(h, 0u);
+}
+
+TEST(RouterPlacement, Mix64IsAPinnedPlatformIndependentFunction) {
+  // splitmix64 finalizer known-answer values — these may never change, or
+  // session-affinity placements (and goldens) silently reshuffle.
+  EXPECT_EQ(mix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(mix64(1), 0x910a2dec89025cc1ULL);
+  EXPECT_NE(mix64(2), mix64(3));
+}
+
+TEST(RouterPlacement, NoRoutableReplicaThrows) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  std::deque<Replica> fleet;
+  fleet.emplace_back(0, sch);
+  auto requests = some_requests(1);
+  fleet[0].begin_drain();
+  Router router(Placement::kRoundRobin);
+  EXPECT_THROW((void)router.pick(requests[0], fleet, requests), Error);
+}
+
+// ------------------------------------------------------ replica lifecycle
+
+TEST(ReplicaLifecycle, DrainRetireRoundTrip) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  Replica rep(0, sch);
+  EXPECT_TRUE(rep.routable());
+  EXPECT_FALSE(rep.busy());
+  EXPECT_FALSE(rep.try_retire());  // active replicas never retire
+  rep.begin_drain();
+  EXPECT_EQ(rep.lifecycle(), ReplicaLifecycle::kDraining);
+  EXPECT_FALSE(rep.routable());
+  EXPECT_TRUE(rep.try_retire());  // idle + draining -> retired
+  EXPECT_EQ(rep.lifecycle(), ReplicaLifecycle::kRetired);
+  EXPECT_FALSE(rep.try_retire());
+}
+
+TEST(ReplicaLifecycle, DrainingReplicaFinishesHeldWorkButRefusesNew) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  Replica rep(0, sch);
+  auto requests = some_requests(2);
+  rep.deliver(0, requests);
+  EXPECT_TRUE(rep.busy());
+  rep.begin_drain();
+  EXPECT_FALSE(rep.try_retire());  // still busy
+  EXPECT_THROW(rep.deliver(1, requests), Error);
+  while (rep.busy()) rep.tick(requests);
+  EXPECT_EQ(requests[0].state, sched::RequestState::kFinished);
+  EXPECT_GE(requests[0].finish_s, 0.0);
+  EXPECT_TRUE(rep.try_retire());
+  EXPECT_EQ(rep.state().bm.used_blocks(), 0);  // nothing leaked
+}
+
+TEST(ReplicaLifecycle, ClockNeverMovesBackwards) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  Replica rep(3, sch);
+  rep.advance_to(5.0);
+  rep.advance_to(3.0);
+  EXPECT_EQ(rep.now(), 5.0);
+  // Delivery stamps the placement but cannot rewind the clock either.
+  auto requests = some_requests(1);
+  rep.deliver(0, requests);
+  EXPECT_EQ(requests[0].replica, 3);
+  EXPECT_EQ(rep.now(), 5.0);
+}
+
+// ----------------------------------------------------------- SLO shedding
+
+TEST(SloShedding, TightTtftDeadlineShedsHopelessRequestsOnly) {
+  ServingConfig sc;
+  sc.qps = 30.0;
+  sc.duration_s = 8.0;
+  sc.kv_blocks = 64;
+  sc.slo.ttft_deadline_ms = 30.0;
+  const ClusterStats cs = simulate_cluster_detailed(test_engine(), sc);
+  const sched::SchedStats& st = cs.sched;
+  EXPECT_GT(st.shed, 0);
+  ASSERT_EQ(cs.replicas.size(), 1u);
+  EXPECT_EQ(cs.replicas[0].shed, st.shed);
+  index_t shed = 0;
+  for (const auto& r : st.requests) {
+    EXPECT_TRUE(r.finished());
+    if (!r.shed) continue;
+    ++shed;
+    // Shed before ever producing work: no tokens, no KV, no latency
+    // sample (finish_s < 0 keeps it out of the metrics like a reject).
+    EXPECT_EQ(r.generated, 0);
+    EXPECT_TRUE(r.blocks.empty());
+    EXPECT_LT(r.first_token_s, 0.0);
+    EXPECT_LT(r.finish_s, 0.0);
+    EXPECT_EQ(r.preemptions, 0);  // preempted requests are never shed
+    EXPECT_FALSE(r.rejected);
+  }
+  EXPECT_EQ(shed, st.shed);
+  // Every request ends exactly one way.
+  EXPECT_EQ(st.metrics.completed + st.rejected + st.shed,
+            static_cast<index_t>(st.requests.size()));
+}
+
+TEST(SloShedding, TpotDeadlineOnlyAccountsViolations) {
+  ServingConfig sc;
+  sc.qps = 2.0;
+  sc.duration_s = 10.0;
+  sc.slo.tpot_deadline_ms = 0.001;  // impossible: every completion violates
+  const ClusterStats cs = simulate_cluster_detailed(test_engine(), sc);
+  EXPECT_EQ(cs.sched.shed, 0);  // no TTFT deadline, nothing is shed
+  EXPECT_GT(cs.sched.metrics.completed, 0);
+  EXPECT_EQ(cs.sched.slo_tpot_violations, cs.sched.metrics.completed);
+}
+
+// ------------------------------------------------------------- autoscaler
+
+ServingConfig bursty_autoscaled() {
+  ServingConfig sc;
+  // Long enough for several ON/OFF burst cycles: the OFF gaps are where
+  // the scale-down evaluations actually fire.
+  sc.shape = sched::WorkloadShape::kBursty;
+  sc.qps = 24.0;
+  sc.duration_s = 40.0;
+  sc.kv_blocks = 96;
+  sc.cluster.autoscaler.enabled = true;
+  sc.cluster.autoscaler.min_replicas = 1;
+  sc.cluster.autoscaler.max_replicas = 4;
+  sc.cluster.autoscaler.interval_s = 2.0;
+  sc.cluster.autoscaler.scale_up_queue_per_replica = 4.0;
+  sc.cluster.autoscaler.scale_down_queue_per_replica = 0.5;
+  return sc;
+}
+
+TEST(Autoscaler, AddDrainRoundTripWithoutKvLeaks) {
+  const ServingConfig sc = bursty_autoscaled();
+  const ClusterStats cs = simulate_cluster_detailed(test_engine(), sc);
+  EXPECT_GT(cs.replicas_added, 0);
+  EXPECT_GT(cs.replicas_drained, 0);
+  EXPECT_GT(cs.peak_replicas, 1);
+  EXPECT_LE(cs.peak_replicas, sc.cluster.autoscaler.max_replicas);
+  // Retired replicas stay in the fleet (ids keep indexing it).
+  EXPECT_EQ(cs.replicas.size(),
+            static_cast<std::size_t>(1 + cs.replicas_added));
+  index_t routed = 0;
+  index_t completed = 0;
+  for (const auto& rep : cs.replicas) {
+    EXPECT_EQ(rep.leaked_kv_blocks, 0);
+    // The run only ends when everything drained, so nothing may still be
+    // mid-drain.
+    EXPECT_NE(rep.lifecycle, ReplicaLifecycle::kDraining);
+    routed += rep.routed;
+    completed += rep.completed;
+  }
+  EXPECT_EQ(routed, static_cast<index_t>(cs.sched.requests.size()));
+  EXPECT_EQ(completed, cs.sched.metrics.completed);
+  EXPECT_EQ(cs.sched.metrics.completed + cs.sched.rejected + cs.sched.shed,
+            static_cast<index_t>(cs.sched.requests.size()));
+}
+
+TEST(Autoscaler, RunsReproduceBitIdentically) {
+  const ServingConfig sc = bursty_autoscaled();
+  const ClusterStats a = simulate_cluster_detailed(test_engine(), sc);
+  const ClusterStats b = simulate_cluster_detailed(test_engine(), sc);
+  expect_sched_equal(a.sched, b.sched);
+  EXPECT_EQ(a.replicas_added, b.replicas_added);
+  EXPECT_EQ(a.replicas_drained, b.replicas_drained);
+  EXPECT_EQ(a.peak_replicas, b.peak_replicas);
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(ClusterValidation, BadOptionsThrow) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(0));
+  ClusterOptions opts;
+  opts.replicas = 0;
+  EXPECT_THROW(opts.validate(), Error);
+  EXPECT_THROW(EventLoop(sch, opts), Error);
+
+  AutoscalerConfig as;
+  as.interval_s = 0.0;
+  EXPECT_THROW(as.validate(), Error);
+  as = AutoscalerConfig{};
+  as.max_replicas = 2;
+  as.min_replicas = 4;
+  EXPECT_THROW(as.validate(), Error);
+  as = AutoscalerConfig{};
+  as.scale_up_queue_per_replica = 1.0;  // no hysteresis gap
+  as.scale_down_queue_per_replica = 1.0;
+  EXPECT_THROW(as.validate(), Error);
+
+  opts = ClusterOptions{};
+  opts.autoscaler.enabled = true;
+  opts.replicas = opts.autoscaler.max_replicas + 1;
+  EXPECT_THROW(opts.validate(), Error);
+}
+
+TEST(ClusterValidation, NegativeSloDeadlinesThrow) {
+  sched::SloConfig slo;
+  slo.ttft_deadline_ms = -1.0;
+  EXPECT_THROW(slo.validate(), Error);
+  sched::SchedulerConfig cfg = sched_cfg(0);
+  cfg.slo.tpot_deadline_ms = -0.5;
+  EXPECT_THROW(sched::Scheduler(test_engine(), cfg), Error);
+}
+
+}  // namespace
+}  // namespace marlin::serve::cluster
