@@ -1,9 +1,22 @@
 // google-benchmark micro-benchmarks of the host-side hot paths: packing,
 // the lop3 dequant trick, weight repacking, and the functional kernels.
 // These measure real work on this machine (not the GPU timing model).
+//
+// On top of the fixed BENCHMARK() cases, main() registers one case per
+// (kernel, supported SIMD level) — `micro_pack_interleaved[avx2]` and
+// friends — and, when run with `--bench-json FILE`, appends one record
+// per micro case to the BENCH_<pr>.json perf trajectory so the checked-in
+// file documents the scalar-vs-SIMD speedups on the recording host.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
 #include "core/marlin_kernel.hpp"
 #include "core/sparse_kernel.hpp"
 #include "baselines/fp16_gemm.hpp"
@@ -15,8 +28,10 @@
 #include "eval/synthetic.hpp"
 #include "sparse/compressed.hpp"
 #include "sparse/two_four.hpp"
+#include "util/cpuid.hpp"
 #include "util/rng.hpp"
 #include "util/sim_context.hpp"
+#include "util/simd_ops.hpp"
 
 namespace {
 
@@ -185,6 +200,148 @@ void BM_Compress24(benchmark::State& state) {
 }
 BENCHMARK(BM_Compress24);
 
+// ---- Scalar-vs-SIMD dispatch cases -------------------------------------
+// One case per (kernel, supported level), registered from main() with
+// unique names like `micro_pack_interleaved[avx2]` so the --bench-json
+// records stay distinguishable. Levels the host or build cannot run are
+// simply not registered, so the binary works everywhere. Every level is
+// bit-identical by contract — these cases measure speed only.
+
+void MicroPackInterleaved(benchmark::State& state, simd::Level level) {
+  const auto codes = random_codes(8 * 4096, 1);
+  std::vector<std::uint32_t> out(codes.size() / 8);
+  const auto& ops = simd::ops_for(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.pack_u4_interleaved(out.size(), codes.data(), out.data()));
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(codes.size()));
+}
+
+void MicroRepack(benchmark::State& state, simd::Level level) {
+  simd::set_level(level);
+  const auto q = bench_qweights(256, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::marlin_repack(q));
+  }
+  simd::reset_level();
+  state.SetItemsProcessed(state.iterations() * 256 * 256);
+}
+
+void MicroMatmul(benchmark::State& state, simd::Level level) {
+  simd::set_level(level);
+  const auto q = bench_qweights(256, 256);
+  const auto mw = layout::marlin_repack(q);
+  Rng rng(8);
+  Matrix<Half> a(16, 256);
+  for (index_t i = 0; i < 16; ++i) {
+    for (index_t j = 0; j < 256; ++j) {
+      a(i, j) = Half(static_cast<float>(rng.normal()));
+    }
+  }
+  core::KernelConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::marlin_matmul(a.view(), mw, cfg, 8));
+  }
+  simd::reset_level();
+  state.SetItemsProcessed(state.iterations() * 16 * 256 * 256 * 2);
+}
+
+void register_micro_dispatch_cases() {
+  using Fn = void (*)(benchmark::State&, simd::Level);
+  const std::pair<const char*, Fn> kernels[] = {
+      {"micro_pack_interleaved", MicroPackInterleaved},
+      {"micro_repack", MicroRepack},
+      {"micro_matmul", MicroMatmul},
+  };
+  for (const auto level :
+       {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (!simd::supported(level)) continue;
+    for (const auto& [name, fn] : kernels) {
+      const std::string full =
+          std::string(name) + "[" + simd::to_string(level) + "]";
+      benchmark::RegisterBenchmark(
+          full.c_str(), [fn, level](benchmark::State& s) { fn(s, level); });
+    }
+  }
+}
+
+/// Console output as usual, plus a copy of every finished run so main()
+/// can append the micro dispatch records to --bench-json FILE.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Finished {
+    std::string name;
+    std::int64_t iterations;
+    double real_s;  // accumulated over all iterations
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      runs_.push_back(
+          {run.benchmark_name(), run.iterations, run.real_accumulated_time});
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  [[nodiscard]] const std::vector<Finished>& runs() const { return runs_; }
+
+ private:
+  std::vector<Finished> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips `--bench-json FILE`
+// (google-benchmark rejects flags it does not know), registers the
+// per-level dispatch cases, and appends their records after the run.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--bench-json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a.rfind("--bench-json=", 0) == 0) {
+      json_path = a.substr(sizeof("--bench-json=") - 1);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  register_micro_dispatch_cases();
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    for (const auto& run : reporter.runs()) {
+      if (run.name.rfind("micro_", 0) != 0) continue;
+      // The level is baked into the name: `micro_repack[avx512]`.
+      const auto open = run.name.find('[');
+      const auto close = run.name.find(']');
+      std::string level = "scalar";
+      if (open != std::string::npos && close != std::string::npos &&
+          close > open) {
+        level = run.name.substr(open + 1, close - open - 1);
+      }
+      std::ostringstream rec;
+      rec << "  {\"bench\": \"" << run.name
+          << "\", \"wall_s\": " << marlin::format_double(run.real_s, 6)
+          << ", \"points\": " << run.iterations << ", \"threads\": 1"
+          << ", \"simd\": \"" << level << "\"}";
+      marlin::bench::append_bench_json_record(json_path, rec.str());
+    }
+  }
+  return 0;
+}

@@ -37,6 +37,7 @@
 #include "serve/sched/scheduler.hpp"
 #include "serve/sched/workload.hpp"
 #include "util/cli.hpp"
+#include "util/cpuid.hpp"
 #include "util/sim_context.hpp"
 #include "util/table.hpp"
 
@@ -60,6 +61,10 @@ inline void maybe_print_help(const CliArgs& args, const std::string& binary,
   all.push_back({"--threads N",
                  "worker threads; 0/absent = MARLIN_THREADS env, then "
                  "hardware concurrency; 1 = bit-identical serial mode"});
+  all.push_back({"--simd L",
+                 "SIMD dispatch level: scalar | avx2 | avx512 | auto "
+                 "(default: MARLIN_SIMD env, then auto-detect; every level "
+                 "is bit-identical by contract)"});
   for (auto& f : flags) all.push_back(std::move(f));
   all.push_back({"--help", "print this help and exit"});
   std::size_t width = 0;
@@ -84,8 +89,8 @@ inline std::vector<FlagHelp> serving_flag_help() {
 /// BenchJsonReporter and should list this).
 inline FlagHelp bench_json_flag_help() {
   return {"--bench-json FILE",
-          "append {bench, wall_s, points, threads} to the JSON array in "
-          "FILE (the checked-in BENCH_<pr>.json perf trajectory)"};
+          "append {bench, wall_s, points, threads, simd} to the JSON array "
+          "in FILE (the checked-in BENCH_<pr>.json perf trajectory)"};
 }
 
 /// The serving flags every serving binary (fig15/fig16/bench_serve_* and
@@ -114,14 +119,37 @@ inline ServeCliOptions parse_serve_cli(const CliArgs& args,
   return o;
 }
 
-/// Context for a bench main(): honours --threads / MARLIN_THREADS.
-inline SimContext make_context(int argc, const char* const* argv) {
-  return make_sim_context(CliArgs(argc, argv));
+/// Applies `--simd L` (wins over MARLIN_SIMD; "auto" drops back to the
+/// env/auto-detect precedence) and announces the active dispatch level
+/// once, on *stderr* — the golden-diffed stdout stream never changes with
+/// the level, because every level is bit-identical by contract.
+inline void apply_simd_flag(const CliArgs& args) {
+  const std::string flag = args.get_string("simd", "");
+  if (flag == "auto") {
+    simd::reset_level();
+  } else if (!flag.empty()) {
+    simd::set_level(simd::level_by_name(flag));
+  }
+  static bool announced = false;
+  if (!announced) {
+    announced = true;
+    std::ostringstream os;
+    os << "[simd] level: " << simd::to_string(simd::active_level()) << "\n";
+    std::cerr << os.str();
+  }
 }
 
-/// Same, for benches that also read their own flags from the CliArgs.
+/// Context for a bench main(): honours --threads / MARLIN_THREADS and the
+/// universal --simd flag. This overload is for benches that also read
+/// their own flags from the CliArgs.
 inline SimContext make_context(const CliArgs& args) {
+  apply_simd_flag(args);
   return make_sim_context(args);
+}
+
+/// Same, straight from main()'s arguments.
+inline SimContext make_context(int argc, const char* const* argv) {
+  return make_context(CliArgs(argc, argv));
 }
 
 /// Runs fn over every sweep point on the context's pool and returns the
@@ -154,8 +182,16 @@ class SweepTimer {
     const double s = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start_)
                          .count();
-    std::cerr << "[sweep] " << label_ << ": " << format_double(s, 3)
-              << " s (threads=" << threads_ << ")\n";
+    // Compose the line off-stream and emit it as one write, after pushing
+    // any buffered table output out first. When stdout and stderr are
+    // piped into the same file (`bench ... &> log`), the piecewise
+    // streaming this replaces could interleave fragments of the timing
+    // line into the middle of a table row.
+    std::ostringstream line;
+    line << "[sweep] " << label_ << ": " << format_double(s, 3)
+         << " s (threads=" << threads_ << ")\n";
+    std::cout.flush();
+    std::cerr << line.str();
   }
 
  private:
@@ -164,11 +200,39 @@ class SweepTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Appends one already-formatted record (no trailing newline) to the JSON
+/// array in `path`, creating the file if needed. The file keeps one
+/// record per line; callers run sequentially under the `bench-json`
+/// target, so there is no concurrent writer.
+inline void append_bench_json_record(const std::string& path,
+                                     const std::string& rec) {
+  std::string body;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    body = buf.str();
+  }
+  const std::size_t close = body.rfind(']');
+  std::ofstream out(path, std::ios::trunc);
+  if (close == std::string::npos) {
+    out << "[\n" << rec << "\n]\n";
+  } else {
+    body.resize(close);
+    while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+      body.pop_back();
+    }
+    const bool was_empty_array = body.empty() || body.back() == '[';
+    out << body << (was_empty_array ? "\n" : ",\n") << rec << "\n]\n";
+  }
+}
+
 /// Machine-readable perf record for the checked-in BENCH_<pr>.json
 /// trajectory (ROADMAP's recorded perf series). When the binary is run
 /// with `--bench-json FILE`, the reporter appends one JSON object —
-/// bench name, wall seconds, sweep-point count, thread count — to the
-/// JSON array in FILE on destruction (creating the file if needed).
+/// bench name, wall seconds, sweep-point count, thread count, active
+/// SIMD dispatch level — to the JSON array in FILE on destruction
+/// (creating the file if needed).
 /// Without the flag it is inert, so golden runs (which never pass it)
 /// are untouched; the wall-time goes to the side file, never to the
 /// golden-diffed stdout.
@@ -192,31 +256,9 @@ class BenchJsonReporter {
     std::ostringstream rec;
     rec << "  {\"bench\": \"" << bench_ << "\", \"wall_s\": "
         << format_double(wall_s, 3) << ", \"points\": " << points_
-        << ", \"threads\": " << threads_ << "}";
-    // The file is a JSON array, one record per line. Append = rewrite
-    // with the record spliced before the closing bracket (files are a
-    // handful of lines; the benches run sequentially under the
-    // `bench-json` target, so there is no concurrent writer).
-    std::string body;
-    {
-      std::ifstream in(path_);
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      body = buf.str();
-    }
-    const std::size_t close = body.rfind(']');
-    std::ofstream out(path_, std::ios::trunc);
-    if (close == std::string::npos) {
-      out << "[\n" << rec.str() << "\n]\n";
-    } else {
-      body.resize(close);
-      while (!body.empty() &&
-             (body.back() == '\n' || body.back() == ' ')) {
-        body.pop_back();
-      }
-      const bool was_empty_array = body.empty() || body.back() == '[';
-      out << body << (was_empty_array ? "\n" : ",\n") << rec.str() << "\n]\n";
-    }
+        << ", \"threads\": " << threads_ << ", \"simd\": \""
+        << simd::to_string(simd::active_level()) << "\"}";
+    append_bench_json_record(path_, rec.str());
   }
 
  private:

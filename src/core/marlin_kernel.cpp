@@ -1,11 +1,15 @@
 #include "core/marlin_kernel.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "layout/fragment.hpp"
 #include "quant/dequant_trick.hpp"
+#include "quant/pack.hpp"
+#include "util/simd_ops.hpp"
 
 namespace marlin::core {
 
@@ -37,50 +41,111 @@ struct Grid {
   }
 };
 
-/// Dequantise the 16 x 64 weight block (slab, chunk) from the packed
-/// per-thread fragments, applying grouped scales if configured.
-void assemble_weight_block(const MarlinWeights& b, index_t slab, index_t chunk,
-                           bool grouped, float out[16][64]) {
-  const bool asym = b.asymmetric();
-  for (int lane = 0; lane < 32; ++lane) {
-    const int tg = lane >> 2;
-    for (int block = 0; block < 4; ++block) {
-      const std::uint32_t reg =
-          b.packed[b.packed_index(slab, chunk, lane, block)];
-      const auto vals = quant::dequant8(reg);
-      for (int w = 0; w < 8; ++w) {
-        const layout::Coord c = layout::weight_block16_coord(lane, w);
-        const int col = block * 16 + c.col;
-        float v = vals[static_cast<std::size_t>(w)].to_float();
-        const index_t g = b.cfg.group_of_row(slab * 16 + c.row);
-        const int packed_pos = tg * 8 + 2 * block + ((w & 4) ? 1 : 0);
-        if (asym) {
-          // AWQ format: re-centre the signed code on the stored zero point.
-          v += 8.0f -
-               static_cast<float>(b.zeros_packed(g, chunk * 64 + packed_pos));
+/// Static maps driving the plane-major weight-block assembly. A (slab,
+/// chunk) block's 128 packed registers are contiguous (register index
+/// reg = lane * 4 + block); nibble position ("plane") p of register reg
+/// holds logical weight w_of_p[p].
+struct AssembleTables {
+  /// dst[p * 128 + reg] = row * 64 + col inside the 16x64 output block.
+  std::array<int, 1024> dst;
+  /// halfsel[p]: which 8-column half of the thread group the plane's
+  /// logical weight addresses ((w & 4) ? 1 : 0).
+  std::array<int, 8> halfsel;
+  /// ppos[half * 128 + reg] = packed scale/zero column within the chunk
+  /// (tg * 8 + 2 * block + half).
+  std::array<int, 256> ppos;
+};
+
+const AssembleTables& assemble_tables() {
+  static const AssembleTables tables = [] {
+    AssembleTables t{};
+    // Invert the pack interleave: nibble p stores logical weight w_of_p[p].
+    std::array<int, 8> w_of_p{};
+    for (int w = 0; w < 8; ++w) {
+      w_of_p[static_cast<std::size_t>(
+          quant::kInterleaveNibbleOfLogical[static_cast<std::size_t>(w)])] = w;
+    }
+    for (int p = 0; p < 8; ++p) {
+      const int w = w_of_p[static_cast<std::size_t>(p)];
+      t.halfsel[static_cast<std::size_t>(p)] = (w & 4) ? 1 : 0;
+      for (int lane = 0; lane < 32; ++lane) {
+        for (int block = 0; block < 4; ++block) {
+          const layout::Coord c = layout::weight_block16_coord(lane, w);
+          t.dst[static_cast<std::size_t>(p * 128 + lane * 4 + block)] =
+              c.row * 64 + block * 16 + c.col;
         }
-        if (grouped) {
-          v *= b.scales_packed(g, chunk * 64 + packed_pos).to_float();
-        }
-        out[c.row][col] = v;
       }
     }
+    for (int half = 0; half < 2; ++half) {
+      for (int lane = 0; lane < 32; ++lane) {
+        for (int block = 0; block < 4; ++block) {
+          t.ppos[static_cast<std::size_t>(half * 128 + lane * 4 + block)] =
+              (lane >> 2) * 8 + 2 * block + half;
+        }
+      }
+    }
+    return t;
+  }();
+  return tables;
+}
+
+/// Per-SM scratch for assemble_weight_block (lives on run_sm's stack).
+struct AssembleScratch {
+  float planes[1024];  ///< plane-major dequantised nibbles
+  float shift2[256];   ///< per-half zero-point shift (asym only)
+  float scale2[256];   ///< per-half group scale (grouped only)
+};
+
+/// Dequantise the 16 x 64 weight block (slab, chunk) from the packed
+/// per-thread fragments, applying grouped scales if configured. Plane-major
+/// so the nibble extraction and scale application vectorize; the per-element
+/// float operations (shift add, scale multiply) are exactly those of the
+/// scalar reference, so results are bit-identical at every SIMD level.
+void assemble_weight_block(const MarlinWeights& b, index_t slab, index_t chunk,
+                           bool grouped, const simd::Ops& o,
+                           AssembleScratch& scr, float out[16][64]) {
+  const AssembleTables& t = assemble_tables();
+  const bool asym = b.asymmetric();
+  const std::uint32_t* regs = &b.packed[b.packed_index(slab, chunk, 0, 0)];
+  o.dequant_u4_planes(128, regs, scr.planes);
+
+  if (asym || grouped) {
+    // The repack guarantees group_size % 16 == 0 (or per-column), so the
+    // group index is constant across the slab's 16 rows.
+    const index_t g = b.cfg.group_of_row(slab * 16);
+    for (int i = 0; i < 256; ++i) {
+      const index_t col = chunk * 64 + t.ppos[static_cast<std::size_t>(i)];
+      if (asym) {
+        scr.shift2[i] = 8.0f - static_cast<float>(b.zeros_packed(g, col));
+      }
+      if (grouped) {
+        scr.scale2[i] = b.scales_packed(g, col).to_float();
+      }
+    }
+  }
+
+  float* const o0 = &out[0][0];
+  for (int p = 0; p < 8; ++p) {
+    float* plane = scr.planes + p * 128;
+    const int half = t.halfsel[static_cast<std::size_t>(p)];
+    if (asym) o.add_f32(128, scr.shift2 + half * 128, plane);
+    if (grouped) o.mul_f32(128, scr.scale2 + half * 128, plane);
+    const int* dst = t.dst.data() + p * 128;
+    for (int reg = 0; reg < 128; ++reg) o0[dst[reg]] = plane[reg];
   }
 }
 
 /// Logarithmic shared-memory reduction of the warp partials of one subtile
 /// (paper: Harris 2007), recording SMEM traffic.
 void warp_tree_reduce(std::vector<Matrix<float>>& parts,
-                      gpusim::TrafficCounters& traffic) {
+                      gpusim::TrafficCounters& traffic, const simd::Ops& o) {
   index_t active = static_cast<index_t>(parts.size());
   while (active > 1) {
     const index_t half = (active + 1) / 2;
     for (index_t i = 0; i + half < active; ++i) {
       auto& dst = parts[static_cast<std::size_t>(i)];
       const auto& src = parts[static_cast<std::size_t>(i + half)];
-      for (index_t r = 0; r < dst.rows(); ++r) {
-        for (index_t c = 0; c < dst.cols(); ++c) dst(r, c) += src(r, c);
-      }
+      o.add_f32(static_cast<std::size_t>(dst.size()), &src(0, 0), &dst(0, 0));
       const std::int64_t bytes = dst.size() * 4;
       traffic.smem_read_bytes += bytes;
       traffic.smem_write_bytes += bytes;
@@ -95,6 +160,7 @@ SmOutput run_sm(ConstMatrixView<Half> a, const MarlinWeights& b,
                 const std::vector<TileCoord>& stripe) {
   SmOutput out;
   const bool grouped = b.cfg.group_size != quant::kPerColumn;
+  const simd::Ops& o = simd::ops();
 
   const index_t scale_groups_bytes_per_tile =
       grouped ? (64 / b.cfg.group_size + 1) * 2 : 0;  // upper bound per col
@@ -107,6 +173,8 @@ SmOutput run_sm(ConstMatrixView<Half> a, const MarlinWeights& b,
   std::vector<Matrix<float>> warp_acc;
 
   float wblock[16][64];
+  float afl[16];
+  AssembleScratch scratch;
 
   auto flush_column = [&]() {
     if (cur_key < 0) return;
@@ -117,7 +185,7 @@ SmOutput run_sm(ConstMatrixView<Half> a, const MarlinWeights& b,
       for (int w = j; w < cfg.num_warps; w += n_subtiles) {
         parts.push_back(std::move(warp_acc[static_cast<std::size_t>(w)]));
       }
-      warp_tree_reduce(parts, out.traffic);
+      warp_tree_reduce(parts, out.traffic, o);
       for (index_t r = 0; r < m_rows; ++r) {
         for (index_t c = 0; c < 64; ++c) {
           acc(r, j * 64 + c) = parts[0](r, c);
@@ -165,16 +233,17 @@ SmOutput run_sm(ConstMatrixView<Half> a, const MarlinWeights& b,
         const int warp = j + rank * n_subtiles;
         auto& acc = warp_acc[static_cast<std::size_t>(warp)];
 
-        assemble_weight_block(b, slab, chunk, grouped, wblock);
-        // mma.sync emulation: FP16 inputs, FP32 accumulate.
+        assemble_weight_block(b, slab, chunk, grouped, o, scratch, wblock);
+        // mma.sync emulation: FP16 inputs, FP32 accumulate. The axpy runs
+        // across the 64 independent output columns — the k reduction order
+        // is unchanged, so accumulation stays bit-identical.
         for (index_t r = 0; r < m_rows; ++r) {
-          const Half* arow = &a(m0 + r, k0 + s * 16);
+          o.f16_to_f32(16, half_bits_ptr(&a(m0 + r, k0 + s * 16)), afl);
           float* crow = &acc(r, 0);
           for (int kk = 0; kk < 16; ++kk) {
-            const float av = arow[kk].to_float();
+            const float av = afl[kk];
             if (av == 0.0f) continue;
-            const float* wrow = wblock[kk];
-            for (int c = 0; c < 64; ++c) crow[c] += av * wrow[c];
+            o.axpy_f32(64, av, wblock[kk], crow);
           }
         }
       }
@@ -191,13 +260,12 @@ Matrix<float> reference_matmul(ConstMatrixView<Half> a,
                                const SimContext& ctx) {
   MARLIN_CHECK(a.cols() == w.rows(), "inner dims mismatch");
   Matrix<float> c(a.rows(), w.cols(), 0.0f);
+  const simd::Ops& o = simd::ops();
   ctx.parallel_for(0, a.rows(), [&](std::int64_t i) {
     for (index_t k = 0; k < a.cols(); ++k) {
       const float av = a(i, k).to_float();
       if (av == 0.0f) continue;
-      for (index_t j = 0; j < w.cols(); ++j) {
-        c(i, j) += av * w(k, j);
-      }
+      o.axpy_f32(static_cast<std::size_t>(w.cols()), av, &w(k, 0), &c(i, 0));
     }
   });
   return c;
@@ -265,6 +333,14 @@ FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
 
   const bool per_column = b.cfg.group_size == quant::kPerColumn;
   const auto perm = layout::scale_chunk_perm();
+  // Invert the scale permutation once (original position -> packed column).
+  std::array<int, 64> inv_perm{};
+  for (int p = 0; p < 64; ++p) {
+    inv_perm[static_cast<std::size_t>(perm[static_cast<std::size_t>(p)])] = p;
+  }
+  const simd::Ops& o = simd::ops();
+  std::vector<float> colscale(static_cast<std::size_t>(cfg.n_sm_tile));
+  std::vector<float> scaled(static_cast<std::size_t>(cfg.n_sm_tile));
 
   // --- Phase 2: serial bottom-to-top FP16 reduction per column (the lock
   // buffer protocol), directly in the output buffer. ---
@@ -279,32 +355,36 @@ FunctionalResult marlin_matmul(ConstMatrixView<Half> a,
     const index_t m_rows = grid.m_rows(mb, cfg.m_block);
     const index_t c0 = col * cfg.n_sm_tile;
 
+    if (per_column) {
+      // Output scaling (per-column scales applied once at write-out);
+      // scales_packed stores permuted columns, hence inv_perm.
+      for (index_t c = 0; c < width; ++c) {
+        const index_t chunk = (c0 + c) / 64;
+        const int packed_pos =
+            inv_perm[static_cast<std::size_t>((c0 + c) % 64)];
+        colscale[static_cast<std::size_t>(c)] =
+            b.scales_packed(0, chunk * 64 + packed_pos).to_float();
+      }
+    }
+
     bool first = true;
     for (const ColumnSegment& seg : segs) {
       const Matrix<float>& partial = find_partial(seg.sm, key);
       for (index_t r = 0; r < m_rows; ++r) {
-        for (index_t c = 0; c < width; ++c) {
-          float v = partial(r, c);
-          if (per_column) {
-            // Output scaling (per-column scales applied once at write-out).
-            const index_t chunk = (c0 + c) / 64;
-            const int pos_in_chunk = static_cast<int>((c0 + c) % 64);
-            // scales_packed stores permuted columns; invert the perm.
-            int packed_pos = 0;
-            for (int p = 0; p < 64; ++p) {
-              if (perm[static_cast<std::size_t>(p)] == pos_in_chunk) {
-                packed_pos = p;
-                break;
-              }
-            }
-            v *= b.scales_packed(0, chunk * 64 + packed_pos).to_float();
-          }
-          Half& out = res.c(m0 + r, c0 + c);
-          if (first) {
-            out = Half(v);
-          } else {
-            out = Half(out.to_float() + v);  // FP16 in-place reduction
-          }
+        const float* prow = &partial(r, 0);
+        if (per_column) {
+          std::memcpy(scaled.data(), prow,
+                      static_cast<std::size_t>(width) * sizeof(float));
+          o.mul_f32(static_cast<std::size_t>(width), colscale.data(),
+                    scaled.data());
+          prow = scaled.data();
+        }
+        std::uint16_t* crow = half_bits_ptr(&res.c(m0 + r, c0));
+        if (first) {
+          o.f32_to_f16(static_cast<std::size_t>(width), prow, crow);
+        } else {
+          // FP16 in-place reduction
+          o.f16_accum_f32(static_cast<std::size_t>(width), prow, crow);
         }
       }
       const std::int64_t bytes = m_rows * width * 2;

@@ -1,12 +1,39 @@
 #include "layout/repack.hpp"
 
 #include <array>
+#include <cstring>
 
 #include "layout/fragment.hpp"
 #include "quant/dequant_trick.hpp"
 #include "quant/pack.hpp"
+#include "util/simd_ops.hpp"
 
 namespace marlin::layout {
+
+namespace {
+
+/// Static gather map for one 16x64 code tile: register g = lane * 4 + block
+/// (the contiguous packed order of MarlinWeights::packed_index), logical
+/// weight w, source position src[g * 8 + w] = row * 64 + (block * 16 + col)
+/// inside the tile.
+const std::array<int, 1024>& repack_gather_map() {
+  static const std::array<int, 1024> map = [] {
+    std::array<int, 1024> m{};
+    for (int lane = 0; lane < 32; ++lane) {
+      for (int block = 0; block < 4; ++block) {
+        for (int w = 0; w < 8; ++w) {
+          const Coord c = weight_block16_coord(lane, w);
+          m[static_cast<std::size_t>((lane * 4 + block) * 8 + w)] =
+              c.row * 64 + block * 16 + c.col;
+        }
+      }
+    }
+    return m;
+  }();
+  return map;
+}
+
+}  // namespace
 
 std::array<int, 64> scale_chunk_perm() {
   std::array<int, 64> perm{};
@@ -39,19 +66,31 @@ MarlinWeights marlin_repack(const quant::QuantizedWeights& q) {
   mw.packed.resize(static_cast<std::size_t>(mw.num_slabs() * mw.num_chunks()) *
                    32 * 4);
 
-  std::array<std::uint8_t, 8> codes{};
+  // Copy each 16x64 tile into a contiguous staging buffer, gather its 128
+  // registers' worth of codes into logical order, then nibble-pack all 128
+  // in one dispatched call (the packed registers for one (slab, chunk) are
+  // contiguous: packed_index(slab, chunk, lane, block) orders them as
+  // lane * 4 + block).
+  const auto& gather = repack_gather_map();
+  const simd::Ops& ops = simd::ops();
+  std::array<std::uint8_t, 16 * 64> tile;
+  std::array<std::uint8_t, 1024> codes1024;
   for (index_t slab = 0; slab < mw.num_slabs(); ++slab) {
     for (index_t chunk = 0; chunk < mw.num_chunks(); ++chunk) {
-      for (int lane = 0; lane < 32; ++lane) {
-        for (int block = 0; block < 4; ++block) {
-          for (int w = 0; w < 8; ++w) {
-            const Coord c = weight_block16_coord(lane, w);
-            const index_t row = slab * kSlabRows + c.row;
-            const index_t col = chunk * kChunkCols + block * 16 + c.col;
-            codes[static_cast<std::size_t>(w)] = q.codes(row, col);
-          }
-          mw.packed[mw.packed_index(slab, chunk, lane, block)] =
-              quant::pack8_interleaved(codes);
+      for (int r = 0; r < 16; ++r) {
+        std::memcpy(&tile[static_cast<std::size_t>(r) * 64],
+                    &q.codes(slab * kSlabRows + r, chunk * kChunkCols), 64);
+      }
+      for (std::size_t i = 0; i < 1024; ++i) {
+        codes1024[i] = tile[static_cast<std::size_t>(gather[i])];
+      }
+      std::uint32_t* dst = &mw.packed[mw.packed_index(slab, chunk, 0, 0)];
+      if (!ops.pack_u4_interleaved(128, codes1024.data(), dst)) {
+        // Out-of-range code: re-pack this tile through the checked scalar
+        // path so the caller sees the exact historical error.
+        for (int g = 0; g < 128; ++g) {
+          dst[g] = quant::pack8_interleaved(
+              {&codes1024[static_cast<std::size_t>(g) * 8], 8});
         }
       }
     }

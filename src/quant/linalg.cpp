@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/simd_ops.hpp"
+
 namespace marlin::quant {
 
 Matrix<double> cholesky_lower(const Matrix<double>& h) {
@@ -57,13 +59,12 @@ Matrix<double> upper_cholesky_of_inverse(const Matrix<double>& h) {
 Matrix<double> gram(ConstMatrixView<float> a) {
   const index_t m = a.rows(), n = a.cols();
   Matrix<double> g(n, n, 0.0);
+  const simd::Ops& o = simd::ops();
   for (index_t r = 0; r < m; ++r) {
     for (index_t i = 0; i < n; ++i) {
       const double ai = a(r, i);
       if (ai == 0.0) continue;
-      for (index_t j = i; j < n; ++j) {
-        g(i, j) += ai * static_cast<double>(a(r, j));
-      }
+      o.axpy_f32_f64(static_cast<std::size_t>(n - i), ai, &a(r, i), &g(i, i));
     }
   }
   for (index_t i = 0; i < n; ++i) {

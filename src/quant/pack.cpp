@@ -1,6 +1,10 @@
 #include "quant/pack.hpp"
 
+#include <bit>
+#include <cstring>
+
 #include "util/error.hpp"
+#include "util/simd_ops.hpp"
 
 namespace marlin::quant {
 
@@ -29,10 +33,13 @@ std::array<std::uint8_t, 8> unpack8_interleaved(std::uint32_t packed) {
 std::vector<std::uint32_t> pack_interleaved(
     std::span<const std::uint8_t> codes) {
   MARLIN_CHECK(codes.size() % 8 == 0, "size must be a multiple of 8");
-  std::vector<std::uint32_t> out;
-  out.reserve(codes.size() / 8);
-  for (std::size_t i = 0; i < codes.size(); i += 8) {
-    out.push_back(pack8_interleaved(codes.subspan(i, 8)));
+  std::vector<std::uint32_t> out(codes.size() / 8);
+  if (!simd::ops().pack_u4_interleaved(out.size(), codes.data(), out.data())) {
+    // Out-of-range code somewhere: re-run the checked scalar path so the
+    // caller gets the exact error it always got.
+    for (std::size_t i = 0; i < codes.size(); i += 8) {
+      out[i / 8] = pack8_interleaved(codes.subspan(i, 8));
+    }
   }
   return out;
 }
@@ -65,8 +72,18 @@ std::vector<std::uint32_t> pack_bits(std::span<const std::uint8_t> codes,
   MARLIN_CHECK(codes.size() % static_cast<std::size_t>(per_reg) == 0,
                "size must be a multiple of " << per_reg);
   const std::uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
-  std::vector<std::uint32_t> out;
-  out.reserve(codes.size() / static_cast<std::size_t>(per_reg));
+  std::vector<std::uint32_t> out(codes.size() / static_cast<std::size_t>(per_reg));
+  if (bits == 4) {
+    if (simd::ops().pack_u4_linear(out.size(), codes.data(), out.data())) {
+      return out;
+    }
+    // Out-of-range code: fall through to the checked loop for the error.
+  } else if (bits == 8 && std::endian::native == std::endian::little) {
+    // Byte-per-code: packing 4 codes little-endian into a uint32 is memcpy
+    // (and every uint8 is in range for 8 bits).
+    if (!codes.empty()) std::memcpy(out.data(), codes.data(), codes.size());
+    return out;
+  }
   for (std::size_t i = 0; i < codes.size(); i += static_cast<std::size_t>(per_reg)) {
     std::uint32_t reg = 0;
     for (int j = 0; j < per_reg; ++j) {
@@ -75,7 +92,7 @@ std::vector<std::uint32_t> pack_bits(std::span<const std::uint8_t> codes,
                                                               << " bits");
       reg |= static_cast<std::uint32_t>(c) << (bits * j);
     }
-    out.push_back(reg);
+    out[i / static_cast<std::size_t>(per_reg)] = reg;
   }
   return out;
 }
@@ -88,12 +105,20 @@ std::vector<std::uint8_t> unpack_bits(std::span<const std::uint32_t> packed,
   MARLIN_CHECK(count <= packed.size() * static_cast<std::size_t>(per_reg),
                "count exceeds packed data");
   const std::uint32_t mask = (1u << bits) - 1u;
-  std::vector<std::uint8_t> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  std::vector<std::uint8_t> out(count);
+  std::size_t start = 0;
+  if (bits == 4) {
+    const std::size_t full_regs = count / 8;
+    simd::ops().unpack_u4_linear(full_regs, packed.data(), out.data());
+    start = full_regs * 8;
+  } else if (bits == 8 && std::endian::native == std::endian::little) {
+    if (count > 0) std::memcpy(out.data(), packed.data(), count);
+    start = count;
+  }
+  for (std::size_t i = start; i < count; ++i) {
     const std::uint32_t reg = packed[i / static_cast<std::size_t>(per_reg)];
     const int j = static_cast<int>(i % static_cast<std::size_t>(per_reg));
-    out.push_back(static_cast<std::uint8_t>((reg >> (bits * j)) & mask));
+    out[i] = static_cast<std::uint8_t>((reg >> (bits * j)) & mask);
   }
   return out;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd_ops.hpp"
+
 namespace marlin::quant {
 
 AsymmetricParams asymmetric_params(std::span<const float> v, int bits) {
@@ -19,31 +21,23 @@ AsymmetricParams asymmetric_params(std::span<const float> v, int bits) {
 
 std::vector<int> quantize_asymmetric(std::span<const float> v, int bits,
                                      const AsymmetricParams& p) {
-  std::vector<int> q;
-  q.reserve(v.size());
+  std::vector<int> q(v.size());
   const int qmax = (1 << bits) - 1;
-  for (const float x : v) {
-    const int code =
-        static_cast<int>(std::nearbyint((x - p.zero) / p.scale));
-    q.push_back(std::clamp(code, 0, qmax));
-  }
+  simd::ops().quantize_asym(v.size(), v.data(), p.scale, p.zero, qmax,
+                            q.data());
   return q;
 }
 
 std::vector<float> dequantize_asymmetric(std::span<const int> q,
                                          const AsymmetricParams& p) {
-  std::vector<float> v;
-  v.reserve(q.size());
-  for (const int code : q) {
-    v.push_back(static_cast<float>(code) * p.scale + p.zero);
-  }
+  std::vector<float> v(q.size());
+  simd::ops().dequant_asym(q.size(), q.data(), p.scale, p.zero, v.data());
   return v;
 }
 
 float symmetric_scale(std::span<const float> v, int bits, float clip) {
   MARLIN_CHECK(clip > 0.0f && clip <= 1.0f, "clip must be in (0,1]");
-  float maxabs = 0.0f;
-  for (const float x : v) maxabs = std::max(maxabs, std::abs(x));
+  const float maxabs = simd::ops().max_abs_f32(v.size(), v.data());
   const float levels = static_cast<float>((1 << (bits - 1)) - 1);  // 7 for b=4
   const float s = clip * maxabs / levels;
   return s > 0 ? s : 1.0f;
@@ -102,6 +96,8 @@ QuantizedWeights quantize_rtn(ConstMatrixView<float> w,
   const index_t g = cfg.group_size == kPerColumn ? k : cfg.group_size;
   std::vector<float> col_group;
   col_group.reserve(static_cast<std::size_t>(g));
+  std::vector<std::uint8_t> enc(static_cast<std::size_t>(g));
+  const simd::Ops& o = simd::ops();
 
   for (index_t j = 0; j < n; ++j) {
     for (index_t g0 = 0; g0 < k; g0 += g) {
@@ -114,8 +110,10 @@ QuantizedWeights quantize_rtn(ConstMatrixView<float> w,
                           : symmetric_scale(col_group, cfg.bits, 1.0f);
       const Half sh(s);
       q.scales(cfg.group_of_row(g0), j) = sh;
+      o.encode_symmetric(col_group.size(), col_group.data(), sh.to_float(),
+                         cfg.bits, enc.data());
       for (index_t i = g0; i < g1; ++i) {
-        q.codes(i, j) = encode_symmetric(w(i, j), sh.to_float(), cfg.bits);
+        q.codes(i, j) = enc[static_cast<std::size_t>(i - g0)];
       }
     }
   }

@@ -41,9 +41,10 @@ std::size_t Router::pick(const sched::Request& r,
                          const std::deque<Replica>& fleet,
                          const std::vector<sched::Request>& requests) {
   // The routable set, in id order (fleet is only ever appended to, so
-  // deque order == id order).
-  std::vector<std::size_t> routable;
-  routable.reserve(fleet.size());
+  // deque order == id order). `routable_` is member scratch whose
+  // capacity persists across arrivals.
+  std::vector<std::size_t>& routable = routable_;
+  routable.clear();
   for (std::size_t i = 0; i < fleet.size(); ++i) {
     if (fleet[i].routable()) routable.push_back(i);
   }

@@ -50,6 +50,9 @@ class Router {
  private:
   Placement placement_;
   std::size_t rr_cursor_ = 0;  // next round-robin *routable-set* slot
+  /// Reused routable-set scratch: `pick` runs once per arrival, and the
+  /// capacity retained here keeps the routing hot path allocation-free.
+  std::vector<std::size_t> routable_;
 };
 
 }  // namespace marlin::serve::cluster

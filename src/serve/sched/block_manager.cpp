@@ -50,13 +50,19 @@ bool BlockManager::can_allocate(index_t n) const {
 }
 
 std::vector<index_t> BlockManager::allocate(index_t n, index_t tenant) {
+  std::vector<index_t> ids;
+  ids.reserve(static_cast<std::size_t>(std::max<index_t>(n, 0)));
+  allocate_into(ids, n, tenant);
+  return ids;
+}
+
+void BlockManager::allocate_into(std::vector<index_t>& out, index_t n,
+                                 index_t tenant) {
   MARLIN_CHECK(n >= 0, "negative allocation");
   MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
   MARLIN_CHECK(can_allocate(n), "KV budget exhausted: need "
                                     << n << " blocks, " << free_blocks()
                                     << " free of " << cfg_.num_blocks);
-  std::vector<index_t> ids;
-  ids.reserve(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) {
     index_t id;
     if (!free_list_.empty()) {
@@ -69,12 +75,11 @@ std::vector<index_t> BlockManager::allocate(index_t n, index_t tenant) {
     }
     MARLIN_ASSERT(!allocated_[static_cast<std::size_t>(id)]);
     allocated_[static_cast<std::size_t>(id)] = true;
-    ids.push_back(id);
+    out.push_back(id);
   }
   used_ += n;
   tenant_used_[tenant] += n;
   peak_used_ = std::max(peak_used_, used_);
-  return ids;
 }
 
 void BlockManager::free(std::vector<index_t>& ids, index_t tenant) {
@@ -101,8 +106,7 @@ bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens,
       blocks_for_tokens(tokens) - static_cast<index_t>(held.size());
   if (need <= 0) return true;
   if (!can_allocate(need)) return false;
-  const auto fresh = allocate(need, tenant);
-  held.insert(held.end(), fresh.begin(), fresh.end());
+  allocate_into(held, need, tenant);
   return true;
 }
 

@@ -71,6 +71,12 @@ class BlockManager {
   /// cover them. Soft quotas never fail an allocation (see header).
   [[nodiscard]] std::vector<index_t> allocate(index_t n, index_t tenant = 0);
 
+  /// Like `allocate`, but appends the `n` new ids to `out` (same ids in
+  /// the same order) — the hot-path variant that lets callers reuse a
+  /// vector whose capacity was reserved up front, so a steady-state
+  /// decode tick performs no heap allocation.
+  void allocate_into(std::vector<index_t>& out, index_t n, index_t tenant = 0);
+
   /// Returns `tenant`'s blocks to the free list and clears `ids`. Freeing
   /// a block that is not currently allocated throws (double-free guard),
   /// as does returning more blocks than the tenant holds.

@@ -344,43 +344,47 @@ void Ticker::admit() {
       s_.active() >= static_cast<std::size_t>(cfg_.max_batch)) {
     return;
   }
-  std::vector<std::size_t> order(s_.queue.begin(), s_.queue.end());
+  // Reused scratch: `order`/`keyed` keep their grown capacity across
+  // ticks; `taken` is lazily sized once and re-cleared via `order` below.
+  ReplicaState::TickScratch& scr = s_.scratch;
+  scr.order.assign(s_.queue.begin(), s_.queue.end());
   if (wfq_) {
     // Keys are loop-invariant during the sort; compute each once
     // instead of per comparison (stable on ties, like the other
     // policies).
-    std::vector<std::pair<double, std::size_t>> keyed;
-    keyed.reserve(order.size());
-    for (const std::size_t id : order) {
-      keyed.emplace_back(wfq_key(requests_[id]), id);
+    scr.keyed.clear();
+    for (const std::size_t id : scr.order) {
+      scr.keyed.emplace_back(wfq_key(requests_[id]), id);
     }
     std::stable_sort(
-        keyed.begin(), keyed.end(),
+        scr.keyed.begin(), scr.keyed.end(),
         [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (std::size_t i = 0; i < keyed.size(); ++i) order[i] = keyed[i].second;
+    for (std::size_t i = 0; i < scr.keyed.size(); ++i) {
+      scr.order[i] = scr.keyed[i].second;
+    }
   } else if (cfg_.policy != SchedPolicy::kFcfs) {
-    std::stable_sort(order.begin(), order.end(),
+    std::stable_sort(scr.order.begin(), scr.order.end(),
                      [&](std::size_t a, std::size_t b) {
                        return policy_key(cfg_.policy, requests_[a]) <
                               policy_key(cfg_.policy, requests_[b]);
                      });
   }
-  std::vector<bool> taken(requests_.size(), false);
-  for (const std::size_t id : order) {
+  if (scr.taken.size() < requests_.size()) scr.taken.resize(requests_.size());
+  for (const std::size_t id : scr.order) {
     if (s_.active() >= static_cast<std::size_t>(cfg_.max_batch)) break;
     Request& r = requests_[id];
     if (slo_hopeless(r)) {
       r.shed = true;
       r.set_state(RequestState::kFinished);
       ++s_.shed;
-      taken[id] = true;
+      scr.taken[id] = 1;
       continue;
     }
     if (never_fits(r)) {
       r.rejected = true;
       r.set_state(RequestState::kFinished);
       ++s_.rejected;
-      taken[id] = true;
+      scr.taken[id] = 1;
       continue;
     }
     if (wfq_ && !s_.bm.can_admit(r.prefill_target())) {
@@ -392,14 +396,20 @@ void Ticker::admit() {
       if (cfg_.policy == SchedPolicy::kMaxUtilization || wfq_) continue;
       break;
     }
-    r.blocks = s_.bm.allocate(s_.bm.blocks_for_tokens(r.prefill_target()),
-                              r.tenant_id);
+    // Reserve the lifetime footprint up front so decode-time `grow_to`
+    // never reallocates the block-id vector.
+    r.blocks.reserve(
+        static_cast<std::size_t>(s_.bm.blocks_for_tokens(r.max_kv_tokens())));
+    s_.bm.allocate_into(r.blocks, s_.bm.blocks_for_tokens(r.prefill_target()),
+                        r.tenant_id);
     r.set_state(RequestState::kPrefilling);
     r.prefilled = 0;
     s_.prefilling.push_back(id);
-    taken[id] = true;
+    scr.taken[id] = 1;
   }
-  std::erase_if(s_.queue, [&](std::size_t id) { return taken[id]; });
+  std::erase_if(s_.queue,
+                [&](std::size_t id) { return scr.taken[id] != 0; });
+  for (const std::size_t id : scr.order) scr.taken[id] = 0;
 }
 
 void Ticker::prefill_round() {
@@ -422,7 +432,9 @@ void Ticker::prefill_round() {
       model_.prefill_seconds(count, std::max<index_t>(1, tokens_per_seq));
   ++s_.prefill_steps;
 
-  std::vector<std::size_t> still_prefilling;
+  // Stable in-place compaction (the write index trails the read index),
+  // so no per-round vector is allocated.
+  std::size_t keep = 0;
   for (const std::size_t id : s_.prefilling) {
     Request& r = requests_[id];
     index_t chunk = r.prefill_target() - r.prefilled;
@@ -432,7 +444,7 @@ void Ticker::prefill_round() {
     r.prefilled += chunk;
     add_service(r.tenant_id, chunk);
     if (r.prefilled < r.prefill_target()) {
-      still_prefilling.push_back(id);
+      s_.prefilling[keep++] = id;
       continue;
     }
     r.set_state(RequestState::kRunning);
@@ -446,7 +458,7 @@ void Ticker::prefill_round() {
     r.generated = std::max<index_t>(r.generated, 1);
     s_.running.push_back(id);
   }
-  s_.prefilling = std::move(still_prefilling);
+  s_.prefilling.resize(keep);
 }
 
 void Ticker::decode_round() {
@@ -497,7 +509,9 @@ void Ticker::decode_round() {
   s_.decode_time_total += t_step;
   ++s_.decode_steps;
 
-  std::vector<std::size_t> still_running;
+  // Stable in-place compaction, as in prefill_round: a steady-state
+  // decode tick must not allocate.
+  std::size_t keep = 0;
   for (const std::size_t id : s_.running) {
     Request& r = requests_[id];
     const index_t committed = commit_tokens(r);
@@ -517,10 +531,10 @@ void Ticker::decode_round() {
       r.set_state(RequestState::kFinished);
       s_.bm.free(r.blocks, r.tenant_id);
     } else {
-      still_running.push_back(id);
+      s_.running[keep++] = id;
     }
   }
-  s_.running = std::move(still_running);
+  s_.running.resize(keep);
 }
 
 void Ticker::step() {

@@ -48,8 +48,10 @@
 // keeps its accumulator; its committed tokens are recomputed like any
 // others), and the tensor/pipeline-parallel ParallelEngine.
 
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "serve/engine.hpp"
@@ -181,6 +183,22 @@ struct ReplicaState {
   // (tokens served / weight) per tenant appearing in the trace.
   std::map<index_t, TenantSpec> tenant_specs;
   std::map<index_t, double> service_debt;
+
+  /// Reusable per-tick scratch buffers. Kept on the replica (not on the
+  /// per-call Ticker) so a steady-state decode tick performs zero heap
+  /// allocations — admission and the round compaction reuse the capacity
+  /// grown on earlier ticks. Contents are meaningless between calls.
+  struct TickScratch {
+    /// Queue snapshot, rearranged into policy order by `admit`.
+    std::vector<std::size_t> order;
+    /// Precomputed WFQ `(key, request)` pairs for the stable sort.
+    std::vector<std::pair<double, std::size_t>> keyed;
+    /// Per-request "left the queue this pass" flags; lazily sized to the
+    /// request vector and re-cleared (via `order`) after every pass.
+    std::vector<std::uint8_t> taken;
+  };
+  /// Scratch reused across `Scheduler::admit` / `Scheduler::step` ticks.
+  TickScratch scratch;
 
   // Counters the EventLoop sums into SchedStats.
   index_t preemptions = 0;

@@ -1,0 +1,294 @@
+// AVX2 (+FMA +F16C) overrides for the simd::Ops table. This translation
+// unit is compiled with -mavx2 -mfma -mf16c -ffp-contract=off (per-file,
+// see src/CMakeLists.txt) — the rest of the library stays baseline x86-64
+// so the binary starts on any CPU and only *calls* into here after the
+// runtime probe (util/cpuid.cpp) says it may.
+//
+// Bit-identity rules (see util/simd_ops.hpp): multiplies and adds stay
+// separate instructions (no vfmadd — FMA is enabled only because the F16C
+// tier requires it on real CPUs), reductions are never reassociated, and
+// -ffp-contract=off keeps the scalar tail loops honest too.
+
+#if defined(MARLIN_HAVE_AVX2_TU)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/half.hpp"
+#include "util/simd_ops.hpp"
+
+namespace marlin::simd::detail {
+
+namespace {
+
+// 64207531 interleave (quant/pack.hpp); local copy, pinned by tests.
+constexpr int kNib[8] = {4, 0, 5, 1, 6, 2, 7, 3};
+
+constexpr int kRoundNearest = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+void axpy_f32_avx2(std::size_t n, float a, const float* x, float* y) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void add_f32_avx2(std::size_t n, const float* x, float* y) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void mul_f32_avx2(std::size_t n, const float* x, float* y) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void axpy_f32_f64_avx2(std::size_t n, double a, const float* x, double* y) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xd = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d prod = _mm256_mul_pd(va, xd);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += a * static_cast<double>(x[i]);
+}
+
+float max_abs_f32_avx2(std::size_t n, const float* x) {
+  const __m256 absmask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 vmax = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vmax = _mm256_max_ps(vmax,
+                         _mm256_and_ps(_mm256_loadu_ps(x + i), absmask));
+  }
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(vmax),
+                        _mm256_extractf128_ps(vmax, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  float maxabs = _mm_cvtss_f32(m);
+  for (; i < n; ++i) maxabs = std::max(maxabs, std::abs(x[i]));
+  return maxabs;
+}
+
+void f16_to_f32_avx2(std::size_t n, const std::uint16_t* h, float* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bits =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i));
+    _mm256_storeu_ps(out + i, _mm256_cvtph_ps(bits));
+  }
+  for (; i < n; ++i) out[i] = half_bits_to_float(h[i]);
+}
+
+void f32_to_f16_avx2(std::size_t n, const float* f, std::uint16_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bits = _mm256_cvtps_ph(_mm256_loadu_ps(f + i),
+                                         kRoundNearest);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), bits);
+  }
+  for (; i < n; ++i) out[i] = float_to_half_bits(f[i]);
+}
+
+void f16_accum_f32_avx2(std::size_t n, const float* v, std::uint16_t* out) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bits =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + i));
+    const __m256 sum =
+        _mm256_add_ps(_mm256_cvtph_ps(bits), _mm256_loadu_ps(v + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_cvtps_ph(sum, kRoundNearest));
+  }
+  for (; i < n; ++i) {
+    out[i] = float_to_half_bits(half_bits_to_float(out[i]) + v[i]);
+  }
+}
+
+// Packs 4 groups of 8 nibble codes per iteration: byte-shuffle into nibble
+// order, then two widening multiply-adds assemble each group's 8 nibbles
+// into a 16-bit half, and an OR/permute compresses the four 32-bit results.
+template <bool kInterleaved>
+bool pack_u4_avx2(std::size_t groups, const std::uint8_t* codes,
+                  std::uint32_t* out) {
+  const __m256i hi_nibble = _mm256_set1_epi8(static_cast<char>(0xf0));
+  const __m256i mul_nib = _mm256_set1_epi16(0x1001);      // b0 + 16 * b1
+  const __m256i mul_pair = _mm256_set1_epi32(0x01000001);  // p0 + 256 * p1
+  // Per group: byte j after the shuffle lands in nibble j, so order the
+  // logical codes by their target nibble (inverse of kNib).
+  const __m256i shuf = _mm256_setr_epi8(
+      1, 3, 5, 7, 0, 2, 4, 6, 9, 11, 13, 15, 8, 10, 12, 14,
+      1, 3, 5, 7, 0, 2, 4, 6, 9, 11, 13, 15, 8, 10, 12, 14);
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::size_t g = 0;
+  for (; g + 4 <= groups; g += 4) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(codes + g * 8));
+    if (!_mm256_testz_si256(v, hi_nibble)) return false;  // code >= 16
+    if constexpr (kInterleaved) v = _mm256_shuffle_epi8(v, shuf);
+    const __m256i pairs = _mm256_maddubs_epi16(v, mul_nib);
+    const __m256i quads = _mm256_madd_epi16(pairs, mul_pair);
+    const __m256i merged =
+        _mm256_or_si256(quads, _mm256_srli_epi64(quads, 16));
+    const __m256i packed = _mm256_permutevar8x32_epi32(merged, pick);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g),
+                     _mm256_castsi256_si128(packed));
+  }
+  for (; g < groups; ++g) {
+    const std::uint8_t* c = codes + g * 8;
+    std::uint32_t reg = 0;
+    for (int i = 0; i < 8; ++i) {
+      if (c[i] >= 16) return false;
+      reg |= static_cast<std::uint32_t>(c[i])
+             << (4 * (kInterleaved ? kNib[i] : i));
+    }
+    out[g] = reg;
+  }
+  return true;
+}
+
+void unpack_u4_linear_avx2(std::size_t nregs, const std::uint32_t* packed,
+                           std::uint8_t* out) {
+  const __m256i lo_mask = _mm256_set1_epi16(0x000f);
+  std::size_t r = 0;
+  for (; r + 4 <= nregs; r += 4) {
+    const __m128i raw =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(packed + r));
+    const __m256i w = _mm256_cvtepu8_epi16(raw);  // one source byte per lane
+    const __m256i lo = _mm256_and_si256(w, lo_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(w, 4), lo_mask);
+    const __m256i res = _mm256_or_si256(lo, _mm256_slli_epi16(hi, 8));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r * 8), res);
+  }
+  for (; r < nregs; ++r) {
+    const std::uint32_t reg = packed[r];
+    for (int j = 0; j < 8; ++j) {
+      out[r * 8 + static_cast<std::size_t>(j)] =
+          static_cast<std::uint8_t>((reg >> (4 * j)) & 0xfu);
+    }
+  }
+}
+
+void dequant_u4_planes_avx2(std::size_t nregs, const std::uint32_t* regs,
+                            float* out) {
+  const __m256i mask = _mm256_set1_epi32(0xf);
+  const __m256 eight = _mm256_set1_ps(8.0f);
+  for (int p = 0; p < 8; ++p) {
+    float* plane = out + static_cast<std::size_t>(p) * nregs;
+    std::size_t i = 0;
+    for (; i + 8 <= nregs; i += 8) {
+      const __m256i r =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(regs + i));
+      const __m256i nib =
+          _mm256_and_si256(_mm256_srli_epi32(r, 4 * p), mask);
+      _mm256_storeu_ps(plane + i,
+                       _mm256_sub_ps(_mm256_cvtepi32_ps(nib), eight));
+    }
+    for (; i < nregs; ++i) {
+      plane[i] = static_cast<float>((regs[i] >> (4 * p)) & 0xfu) - 8.0f;
+    }
+  }
+}
+
+void encode_symmetric_avx2(std::size_t n, const float* v, float scale,
+                           int bits, std::uint8_t* out) {
+  const int zero = 1 << (bits - 1);
+  const int lo = -zero, hi = zero - 1;
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256i vlo = _mm256_set1_epi32(lo), vhi = _mm256_set1_epi32(hi);
+  const __m256i vzero = _mm256_set1_epi32(zero);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_div_ps(_mm256_loadu_ps(v + i), vscale);
+    __m256i c = _mm256_cvtps_epi32(d);  // RTNE == nearbyint + cast
+    c = _mm256_add_epi32(_mm256_min_epi32(_mm256_max_epi32(c, vlo), vhi),
+                         vzero);
+    const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(c),
+                                        _mm256_extracti128_si256(c, 1));
+    const __m128i p8 = _mm_packus_epi16(p16, p16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  for (; i < n; ++i) {
+    const int code = std::clamp(
+        static_cast<int>(std::nearbyint(v[i] / scale)), lo, hi);
+    out[i] = static_cast<std::uint8_t>(code + zero);
+  }
+}
+
+void quantize_asym_avx2(std::size_t n, const float* v, float scale,
+                        float zero, int qmax, int* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vzero = _mm256_set1_ps(zero);
+  const __m256i vmin = _mm256_setzero_si256();
+  const __m256i vmax = _mm256_set1_epi32(qmax);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_div_ps(_mm256_sub_ps(_mm256_loadu_ps(v + i), vzero), vscale);
+    __m256i c = _mm256_cvtps_epi32(d);
+    c = _mm256_min_epi32(_mm256_max_epi32(c, vmin), vmax);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), c);
+  }
+  for (; i < n; ++i) {
+    const int code =
+        static_cast<int>(std::nearbyint((v[i] - zero) / scale));
+    out[i] = std::clamp(code, 0, qmax);
+  }
+}
+
+void dequant_asym_avx2(std::size_t n, const int* q, float scale, float zero,
+                       float* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vzero = _mm256_set1_ps(zero);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 f = _mm256_cvtepi32_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + i)));
+    _mm256_storeu_ps(out + i,
+                     _mm256_add_ps(_mm256_mul_ps(f, vscale), vzero));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<float>(q[i]) * scale + zero;
+  }
+}
+
+}  // namespace
+
+void apply_avx2_overrides(Ops& t) {
+  t.axpy_f32 = axpy_f32_avx2;
+  t.add_f32 = add_f32_avx2;
+  t.mul_f32 = mul_f32_avx2;
+  t.axpy_f32_f64 = axpy_f32_f64_avx2;
+  t.max_abs_f32 = max_abs_f32_avx2;
+  t.f16_to_f32 = f16_to_f32_avx2;
+  t.f32_to_f16 = f32_to_f16_avx2;
+  t.f16_accum_f32 = f16_accum_f32_avx2;
+  t.pack_u4_interleaved = pack_u4_avx2<true>;
+  t.pack_u4_linear = pack_u4_avx2<false>;
+  t.unpack_u4_linear = unpack_u4_linear_avx2;
+  t.dequant_u4_planes = dequant_u4_planes_avx2;
+  t.encode_symmetric = encode_symmetric_avx2;
+  t.quantize_asym = quantize_asym_avx2;
+  t.dequant_asym = dequant_asym_avx2;
+}
+
+}  // namespace marlin::simd::detail
+
+#endif  // MARLIN_HAVE_AVX2_TU

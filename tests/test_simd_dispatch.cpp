@@ -1,0 +1,659 @@
+// Runtime SIMD dispatch (util/cpuid.hpp + util/simd_ops.hpp): level
+// selection precedence, known answers of the op tables against the quant/
+// reference implementations, the bit-identity contract across every level
+// this host supports (levels the host lacks are skipped gracefully), an
+// end-to-end pipeline identity check, and the zero-allocation contract of
+// the serving steady-state decode tick.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/marlin_kernel.hpp"
+#include "layout/repack.hpp"
+#include "quant/dequant_trick.hpp"
+#include "quant/linalg.hpp"
+#include "quant/pack.hpp"
+#include "quant/uniform.hpp"
+#include "serve/server_sim.hpp"
+#include "util/cpuid.hpp"
+#include "util/half.hpp"
+#include "util/rng.hpp"
+#include "util/simd_ops.hpp"
+
+// ------------------------------------------------------------------------
+// Counting global allocator: every replaceable operator new in this test
+// binary bumps one relaxed counter, so tests can assert that a code window
+// performed zero heap allocations. Single-threaded tests read it exactly.
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+
+std::uint64_t alloc_count() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a =
+      std::max(sizeof(void*), static_cast<std::size_t>(al));
+  void* p = nullptr;
+  if (posix_memalign(&p, a, n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace marlin {
+namespace {
+
+constexpr std::array<simd::Level, 3> kAllLevels = {
+    simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512};
+
+/// Restores MARLIN_SIMD and drops any override/cached resolution on exit,
+/// so tests may fiddle with the selection state freely.
+class SimdStateGuard {
+ public:
+  SimdStateGuard() {
+    if (const char* cur = std::getenv("MARLIN_SIMD")) {
+      saved_ = cur;
+      had_env_ = true;
+    }
+    simd::reset_level();
+  }
+  ~SimdStateGuard() {
+    if (had_env_) {
+      setenv("MARLIN_SIMD", saved_.c_str(), 1);
+    } else {
+      unsetenv("MARLIN_SIMD");
+    }
+    simd::reset_level();
+  }
+
+ private:
+  std::string saved_;
+  bool had_env_ = false;
+};
+
+// ------------------------------------------------------------- selection
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  for (const simd::Level l : kAllLevels) {
+    EXPECT_EQ(simd::level_by_name(simd::to_string(l)), l);
+  }
+  EXPECT_THROW((void)simd::level_by_name("neon"), Error);
+  EXPECT_THROW((void)simd::level_by_name("AVX2"), Error);  // case-sensitive
+  EXPECT_THROW((void)simd::level_by_name("auto"), Error);  // env-only token
+}
+
+TEST(SimdDispatch, SupportMonotoneAndClampedByBuild) {
+  EXPECT_TRUE(simd::supported(simd::Level::kScalar));
+  const simd::Level max = simd::max_supported_level();
+  for (const simd::Level l : kAllLevels) {
+    EXPECT_EQ(simd::supported(l),
+              static_cast<int>(l) <= static_cast<int>(max));
+  }
+}
+
+TEST(SimdDispatch, EnvUnsetEmptyOrAutoPickMax) {
+  SimdStateGuard guard;
+  unsetenv("MARLIN_SIMD");
+  simd::reset_level();
+  EXPECT_EQ(simd::active_level(), simd::max_supported_level());
+  setenv("MARLIN_SIMD", "", 1);
+  simd::reset_level();
+  EXPECT_EQ(simd::active_level(), simd::max_supported_level());
+  setenv("MARLIN_SIMD", "auto", 1);
+  simd::reset_level();
+  EXPECT_EQ(simd::active_level(), simd::max_supported_level());
+}
+
+TEST(SimdDispatch, SetLevelBeatsEnvAndResetRereadsIt) {
+  SimdStateGuard guard;
+  setenv("MARLIN_SIMD", "scalar", 1);
+  simd::reset_level();
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+
+  // An explicit override wins over the environment ...
+  simd::set_level(simd::max_supported_level());
+  EXPECT_EQ(simd::active_level(), simd::max_supported_level());
+  EXPECT_EQ(simd::ops().level, simd::max_supported_level());
+
+  // ... and dropping it re-reads MARLIN_SIMD.
+  simd::reset_level();
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  EXPECT_EQ(simd::ops().level, simd::Level::kScalar);
+}
+
+TEST(SimdDispatch, UnknownOrUnsupportedRequestsThrow) {
+  SimdStateGuard guard;
+  setenv("MARLIN_SIMD", "sse9", 1);
+  simd::reset_level();
+  EXPECT_THROW((void)simd::active_level(), Error);
+
+  const simd::Level max = simd::max_supported_level();
+  for (const simd::Level l : kAllLevels) {
+    if (simd::supported(l)) continue;
+    EXPECT_THROW(simd::set_level(l), Error);
+    setenv("MARLIN_SIMD", simd::to_string(l), 1);
+    simd::reset_level();
+    EXPECT_THROW((void)simd::active_level(), Error);
+  }
+  (void)max;
+}
+
+TEST(SimdDispatch, OpsForReportsItsLevelAndFallsBack) {
+  EXPECT_EQ(simd::ops_for(simd::Level::kScalar).level, simd::Level::kScalar);
+  for (const simd::Level l : kAllLevels) {
+    const simd::Ops& t = simd::ops_for(l);
+    if (simd::supported(l)) {
+      EXPECT_EQ(t.level, l);
+    } else {
+      // Unsupported levels fall back to something at or below the request.
+      EXPECT_LE(static_cast<int>(t.level), static_cast<int>(l));
+    }
+  }
+}
+
+// --------------------------------------------------------- known answers
+//
+// The scalar table is the reference the vector levels are compared to, so
+// pin it against the quant/ module's own implementations first.
+
+TEST(SimdKnownAnswer, PackMatchesQuantPack8) {
+  Rng rng(11);
+  for (const simd::Level l : kAllLevels) {
+    if (!simd::supported(l)) continue;
+    const simd::Ops& t = simd::ops_for(l);
+    for (int rep = 0; rep < 200; ++rep) {
+      std::array<std::uint8_t, 8> codes{};
+      for (auto& c : codes) {
+        c = static_cast<std::uint8_t>(rng.uniform_int(16));
+      }
+      std::uint32_t inter = 0, linear = 0;
+      ASSERT_TRUE(t.pack_u4_interleaved(1, codes.data(), &inter));
+      ASSERT_TRUE(t.pack_u4_linear(1, codes.data(), &linear));
+      EXPECT_EQ(inter, quant::pack8_interleaved(codes));
+      EXPECT_EQ(linear, quant::pack8_linear(codes));
+    }
+  }
+}
+
+TEST(SimdKnownAnswer, PackRejectsOutOfRangeCodes) {
+  for (const simd::Level l : kAllLevels) {
+    if (!simd::supported(l)) continue;
+    const simd::Ops& t = simd::ops_for(l);
+    // Bad codes both inside the vector body and in the scalar tail.
+    for (const std::size_t bad : {std::size_t{0}, std::size_t{13},
+                                  std::size_t{95}, std::size_t{98}}) {
+      std::vector<std::uint8_t> codes(13 * 8, 7);
+      codes[bad] = 16;
+      std::vector<std::uint32_t> out(13);
+      EXPECT_FALSE(t.pack_u4_interleaved(13, codes.data(), out.data()))
+          << simd::to_string(l) << " bad index " << bad;
+      EXPECT_FALSE(t.pack_u4_linear(13, codes.data(), out.data()));
+    }
+  }
+}
+
+TEST(SimdKnownAnswer, UnpackInvertsLinearPack) {
+  Rng rng(12);
+  for (const simd::Level l : kAllLevels) {
+    if (!simd::supported(l)) continue;
+    const simd::Ops& t = simd::ops_for(l);
+    std::vector<std::uint8_t> codes(29 * 8);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.uniform_int(16));
+    std::vector<std::uint32_t> packed(29);
+    ASSERT_TRUE(t.pack_u4_linear(29, codes.data(), packed.data()));
+    std::vector<std::uint8_t> back(29 * 8, 0xff);
+    t.unpack_u4_linear(29, packed.data(), back.data());
+    EXPECT_EQ(back, codes);
+  }
+}
+
+TEST(SimdKnownAnswer, DequantPlanesMatchDequant8) {
+  // Plane p of register r holds (float)((r >> 4p) & 0xF) - 8, which for
+  // the interleaved layout means logical weight i of quant::dequant8 sits
+  // on plane kInterleaveNibbleOfLogical[i] — the exact relation the
+  // kernel's weight-block assembly relies on.
+  Rng rng(13);
+  const std::size_t nregs = 21;
+  std::vector<std::uint32_t> regs(nregs);
+  for (auto& r : regs) {
+    r = static_cast<std::uint32_t>(rng.next_u64());
+  }
+  for (const simd::Level l : kAllLevels) {
+    if (!simd::supported(l)) continue;
+    const simd::Ops& t = simd::ops_for(l);
+    std::vector<float> planes(8 * nregs);
+    t.dequant_u4_planes(nregs, regs.data(), planes.data());
+    for (std::size_t r = 0; r < nregs; ++r) {
+      const auto vals = quant::dequant8(regs[r]);
+      for (int i = 0; i < 8; ++i) {
+        const int p = quant::kInterleaveNibbleOfLogical[
+            static_cast<std::size_t>(i)];
+        EXPECT_EQ(planes[static_cast<std::size_t>(p) * nregs + r],
+                  vals[static_cast<std::size_t>(i)].to_float())
+            << simd::to_string(l) << " reg " << r << " weight " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKnownAnswer, F16ToF32ExhaustiveOverAllPatterns) {
+  // Every binary16 pattern except signalling NaNs (hardware conversions
+  // quiet those; the library never constructs one — float_to_half_bits
+  // always sets the quiet bit) must convert bit-identically to the
+  // software reference, subnormals and quiet NaNs included.
+  std::vector<std::uint16_t> in;
+  in.reserve(1u << 16);
+  for (std::uint32_t b = 0; b < (1u << 16); ++b) {
+    const auto h = static_cast<std::uint16_t>(b);
+    const bool snan =
+        (h & 0x7c00u) == 0x7c00u && (h & 0x03ffu) != 0 && !(h & 0x0200u);
+    if (!snan) in.push_back(h);
+  }
+  std::vector<float> ref(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ref[i] = half_bits_to_float(in[i]);
+  }
+  for (const simd::Level l : kAllLevels) {
+    if (!simd::supported(l)) continue;
+    std::vector<float> out(in.size());
+    simd::ops_for(l).f16_to_f32(in.size(), in.data(), out.data());
+    EXPECT_EQ(std::memcmp(out.data(), ref.data(), out.size() * sizeof(float)),
+              0)
+        << simd::to_string(l);
+  }
+}
+
+TEST(SimdKnownAnswer, F32ToF16RoundsToNearestEven) {
+  // Ties, overflow-to-inf, underflow-to-zero, subnormal halves, quiet
+  // NaNs: the documented hard cases of IEEE RTNE conversion.
+  const std::vector<float> in = {
+      0.0f, -0.0f, 1.0f, -2.5f,
+      1.0009765f,   // between 1.0 and 1.0 + 2^-10: rounds down (even)
+      1.00098f,     // just above the tie: rounds up
+      2049.0f,      // tie at 2048 + 1: rounds to even 2048
+      2051.0f,      // tie: rounds to even 2052
+      65504.0f,     // max finite half
+      65520.0f,     // halfway to inf: rounds to inf
+      65519.0f,     // just below: stays 65504
+      1e6f, -1e38f,  // far overflow -> +/-inf
+      5.9604645e-8f,   // half of the smallest subnormal: ties to zero
+      6.0e-8f,         // just above: smallest subnormal
+      6.1035156e-5f,   // smallest normal half
+      3.0e-5f,         // subnormal range
+      1e-40f,          // float subnormal -> zero
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+  };
+  std::vector<std::uint16_t> ref(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ref[i] = float_to_half_bits(in[i]);
+  }
+  for (const simd::Level l : kAllLevels) {
+    if (!simd::supported(l)) continue;
+    std::vector<std::uint16_t> out(in.size());
+    simd::ops_for(l).f32_to_f16(in.size(), in.data(), out.data());
+    EXPECT_EQ(out, ref) << simd::to_string(l);
+  }
+}
+
+// ---------------------------------------------------------- bit identity
+//
+// Random data at awkward lengths (vector body + ragged tail), every
+// supported level compared byte-for-byte against the scalar table.
+
+constexpr std::array<std::size_t, 13> kSizes = {0, 1, 3, 7,  8,  9,  15,
+                                                16, 17, 31, 33, 64, 67};
+
+template <typename T>
+void expect_bytes_eq(const std::vector<T>& got, const std::vector<T>& want,
+                     simd::Level l, const char* what, std::size_t n) {
+  ASSERT_EQ(got.size(), want.size());
+  if (got.empty()) return;  // data() may be null; memcmp is nonnull
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(T)), 0)
+      << what << " differs from scalar at level " << simd::to_string(l)
+      << " (n=" << n << ")";
+}
+
+TEST(SimdBitIdentity, ElementwiseFloatKernels) {
+  Rng rng(21);
+  const simd::Ops& scalar = simd::ops_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    std::vector<float> x(n), y0(n);
+    std::vector<double> d0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(rng.normal());
+      y0[i] = static_cast<float>(rng.normal());
+      d0[i] = rng.normal();
+    }
+    const float a = static_cast<float>(rng.normal());
+
+    std::vector<float> axpy_ref = y0, add_ref = y0, mul_ref = y0;
+    std::vector<double> dref = d0;
+    scalar.axpy_f32(n, a, x.data(), axpy_ref.data());
+    scalar.add_f32(n, x.data(), add_ref.data());
+    scalar.mul_f32(n, x.data(), mul_ref.data());
+    scalar.axpy_f32_f64(n, static_cast<double>(a), x.data(), dref.data());
+    const float max_ref = scalar.max_abs_f32(n, x.data());
+
+    for (const simd::Level l : kAllLevels) {
+      if (l == simd::Level::kScalar || !simd::supported(l)) continue;
+      const simd::Ops& t = simd::ops_for(l);
+      std::vector<float> y = y0;
+      std::vector<double> d = d0;
+      t.axpy_f32(n, a, x.data(), y.data());
+      expect_bytes_eq(y, axpy_ref, l, "axpy_f32", n);
+      y = y0;
+      t.add_f32(n, x.data(), y.data());
+      expect_bytes_eq(y, add_ref, l, "add_f32", n);
+      y = y0;
+      t.mul_f32(n, x.data(), y.data());
+      expect_bytes_eq(y, mul_ref, l, "mul_f32", n);
+      t.axpy_f32_f64(n, static_cast<double>(a), x.data(), d.data());
+      expect_bytes_eq(d, dref, l, "axpy_f32_f64", n);
+      EXPECT_EQ(t.max_abs_f32(n, x.data()), max_ref)
+          << "max_abs_f32 at " << simd::to_string(l) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdBitIdentity, HalfConversionKernels) {
+  Rng rng(22);
+  const simd::Ops& scalar = simd::ops_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    std::vector<float> f(n), v(n);
+    std::vector<std::uint16_t> h0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix magnitudes so subnormal halves and overflow both occur.
+      f[i] = static_cast<float>(rng.normal() *
+                                std::pow(10.0, rng.uniform(-8.0, 6.0)));
+      v[i] = static_cast<float>(rng.normal());
+      h0[i] = float_to_half_bits(static_cast<float>(rng.normal()));
+    }
+    std::vector<float> to_f32_ref(n);
+    std::vector<std::uint16_t> to_f16_ref(n), accum_ref = h0;
+    scalar.f16_to_f32(n, h0.data(), to_f32_ref.data());
+    scalar.f32_to_f16(n, f.data(), to_f16_ref.data());
+    scalar.f16_accum_f32(n, v.data(), accum_ref.data());
+
+    for (const simd::Level l : kAllLevels) {
+      if (l == simd::Level::kScalar || !simd::supported(l)) continue;
+      const simd::Ops& t = simd::ops_for(l);
+      std::vector<float> fo(n);
+      t.f16_to_f32(n, h0.data(), fo.data());
+      expect_bytes_eq(fo, to_f32_ref, l, "f16_to_f32", n);
+      std::vector<std::uint16_t> ho(n);
+      t.f32_to_f16(n, f.data(), ho.data());
+      expect_bytes_eq(ho, to_f16_ref, l, "f32_to_f16", n);
+      ho = h0;
+      t.f16_accum_f32(n, v.data(), ho.data());
+      expect_bytes_eq(ho, accum_ref, l, "f16_accum_f32", n);
+    }
+  }
+}
+
+TEST(SimdBitIdentity, PackUnpackDequantKernels) {
+  Rng rng(23);
+  const simd::Ops& scalar = simd::ops_for(simd::Level::kScalar);
+  for (const std::size_t groups : kSizes) {
+    std::vector<std::uint8_t> codes(groups * 8);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.uniform_int(16));
+    std::vector<std::uint32_t> inter_ref(groups), lin_ref(groups);
+    ASSERT_TRUE(
+        scalar.pack_u4_interleaved(groups, codes.data(), inter_ref.data()));
+    ASSERT_TRUE(scalar.pack_u4_linear(groups, codes.data(), lin_ref.data()));
+    std::vector<std::uint8_t> unpack_ref(groups * 8);
+    scalar.unpack_u4_linear(groups, lin_ref.data(), unpack_ref.data());
+    std::vector<float> planes_ref(8 * groups);
+    scalar.dequant_u4_planes(groups, inter_ref.data(), planes_ref.data());
+
+    for (const simd::Level l : kAllLevels) {
+      if (l == simd::Level::kScalar || !simd::supported(l)) continue;
+      const simd::Ops& t = simd::ops_for(l);
+      std::vector<std::uint32_t> out(groups);
+      ASSERT_TRUE(t.pack_u4_interleaved(groups, codes.data(), out.data()));
+      expect_bytes_eq(out, inter_ref, l, "pack_u4_interleaved", groups);
+      ASSERT_TRUE(t.pack_u4_linear(groups, codes.data(), out.data()));
+      expect_bytes_eq(out, lin_ref, l, "pack_u4_linear", groups);
+      std::vector<std::uint8_t> up(groups * 8);
+      t.unpack_u4_linear(groups, lin_ref.data(), up.data());
+      expect_bytes_eq(up, unpack_ref, l, "unpack_u4_linear", groups);
+      std::vector<float> planes(8 * groups);
+      t.dequant_u4_planes(groups, inter_ref.data(), planes.data());
+      expect_bytes_eq(planes, planes_ref, l, "dequant_u4_planes", groups);
+    }
+  }
+}
+
+TEST(SimdBitIdentity, QuantizeKernels) {
+  Rng rng(24);
+  const simd::Ops& scalar = simd::ops_for(simd::Level::kScalar);
+  for (const std::size_t n : kSizes) {
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Values straddling the clamp range and .5 rounding ties.
+      v[i] = static_cast<float>(rng.normal(0.0, 6.0));
+      if (rng.uniform() < 0.25) {
+        v[i] = std::nearbyint(v[i]) + 0.5f;
+      }
+    }
+    const float scale = 0.375f, zero = -1.25f;
+    std::vector<int> q0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      q0[i] = static_cast<int>(rng.uniform_int(16));
+    }
+    for (const int bits : {2, 4, 8}) {
+      std::vector<std::uint8_t> enc_ref(n);
+      scalar.encode_symmetric(n, v.data(), scale, bits, enc_ref.data());
+      for (const simd::Level l : kAllLevels) {
+        if (l == simd::Level::kScalar || !simd::supported(l)) continue;
+        std::vector<std::uint8_t> enc(n);
+        simd::ops_for(l).encode_symmetric(n, v.data(), scale, bits,
+                                          enc.data());
+        expect_bytes_eq(enc, enc_ref, l, "encode_symmetric", n);
+      }
+    }
+    std::vector<int> q_ref(n);
+    std::vector<float> dq_ref(n);
+    scalar.quantize_asym(n, v.data(), scale, zero, 15, q_ref.data());
+    scalar.dequant_asym(n, q0.data(), scale, zero, dq_ref.data());
+    for (const simd::Level l : kAllLevels) {
+      if (l == simd::Level::kScalar || !simd::supported(l)) continue;
+      const simd::Ops& t = simd::ops_for(l);
+      std::vector<int> q(n);
+      t.quantize_asym(n, v.data(), scale, zero, 15, q.data());
+      expect_bytes_eq(q, q_ref, l, "quantize_asym", n);
+      std::vector<float> dq(n);
+      t.dequant_asym(n, q0.data(), scale, zero, dq.data());
+      expect_bytes_eq(dq, dq_ref, l, "dequant_asym", n);
+    }
+  }
+}
+
+// ------------------------------------------------------------ end to end
+//
+// The whole host pipeline — RTN quantization, MARLIN repack, functional
+// kernel, FP32 reference GEMM and the GPTQ gram matrix — must produce
+// byte-identical artifacts under every dispatch level.
+
+struct PipelineArtifacts {
+  quant::QuantizedWeights q;
+  layout::MarlinWeights mw;
+  Matrix<Half> c;
+  Matrix<float> ref;
+  Matrix<double> gram;
+};
+
+PipelineArtifacts run_pipeline() {
+  const index_t m = 5, k = 64, n = 128;
+  Rng rng(31);
+  Matrix<float> w(k, n);
+  for (index_t i = 0; i < k; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      w(i, j) = static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+  Matrix<Half> a(m, k);
+  Matrix<float> af(m, k);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < k; ++j) {
+      af(i, j) = static_cast<float>(rng.normal());
+      a(i, j) = Half(af(i, j));
+    }
+  }
+  PipelineArtifacts out;
+  quant::QuantConfig qcfg;
+  qcfg.group_size = 32;
+  qcfg.clip_search = true;  // exercises max_abs + encode search loops
+  out.q = quant::quantize_rtn(w.view(), qcfg);
+  out.mw = layout::marlin_repack(out.q);
+  core::KernelConfig kcfg;
+  kcfg.n_sm_tile = 64;
+  kcfg.num_warps = 4;
+  out.c = core::marlin_matmul(a.view(), out.mw, kcfg, 4).c;
+  out.ref = core::reference_matmul(a.view(), out.q.dequantize().view());
+  out.gram = quant::gram(af.view());
+  return out;
+}
+
+TEST(SimdEndToEnd, PipelineBitIdenticalAcrossLevels) {
+  SimdStateGuard guard;
+  simd::set_level(simd::Level::kScalar);
+  const PipelineArtifacts want = run_pipeline();
+  for (const simd::Level l : kAllLevels) {
+    if (l == simd::Level::kScalar || !simd::supported(l)) continue;
+    simd::set_level(l);
+    const PipelineArtifacts got = run_pipeline();
+    EXPECT_EQ(std::memcmp(got.q.codes.data(), want.q.codes.data(),
+                          static_cast<std::size_t>(want.q.codes.size())),
+              0)
+        << "RTN codes differ at " << simd::to_string(l);
+    EXPECT_EQ(std::memcmp(got.q.scales.data(), want.q.scales.data(),
+                          static_cast<std::size_t>(want.q.scales.size()) *
+                              sizeof(Half)),
+              0)
+        << "RTN scales differ at " << simd::to_string(l);
+    ASSERT_EQ(got.mw.packed.size(), want.mw.packed.size());
+    EXPECT_EQ(got.mw.packed, want.mw.packed)
+        << "repacked stream differs at " << simd::to_string(l);
+    EXPECT_EQ(std::memcmp(got.c.data(), want.c.data(),
+                          static_cast<std::size_t>(want.c.size()) *
+                              sizeof(Half)),
+              0)
+        << "kernel output differs at " << simd::to_string(l);
+    EXPECT_EQ(std::memcmp(got.ref.data(), want.ref.data(),
+                          static_cast<std::size_t>(want.ref.size()) *
+                              sizeof(float)),
+              0)
+        << "reference GEMM differs at " << simd::to_string(l);
+    EXPECT_EQ(std::memcmp(got.gram.data(), want.gram.data(),
+                          static_cast<std::size_t>(want.gram.size()) *
+                              sizeof(double)),
+              0)
+        << "gram matrix differs at " << simd::to_string(l);
+  }
+}
+
+// ------------------------------------------------- allocation regression
+//
+// A steady-state decode tick (no arrivals, no admissions, every running
+// sequence growing within its reserved block vector) must perform zero
+// heap allocations: the scheduler reuses ReplicaState scratch, the block
+// manager recycles its free list, and the engine serves decode times from
+// its warmed memo.
+
+TEST(HotPath, SteadyStateDecodeTickDoesNotAllocate) {
+  serve::EngineConfig ecfg;
+  ecfg.model = serve::llama2_7b();
+  ecfg.gpu = gpusim::rtxa6000();
+  ecfg.format = serve::WeightFormat::kMarlin;
+  const serve::Engine engine(ecfg);
+
+  serve::sched::SchedulerConfig scfg;
+  scfg.policy = serve::sched::SchedPolicy::kFcfs;
+  scfg.max_batch = 8;
+  scfg.blocks.block_size = 16;
+  scfg.blocks.num_blocks = 256;
+  const serve::sched::Scheduler sched(engine, scfg);
+
+  std::vector<serve::sched::Request> requests;
+  for (index_t i = 0; i < 8; ++i) {
+    requests.emplace_back(i, 0.0, 64, 32);
+  }
+  // Warm the decode memo for every (batch, context-bucket) pair the run
+  // can touch, exactly as EventLoop::run pre-warms before ticking.
+  for (index_t batch = 1; batch <= scfg.max_batch; ++batch) {
+    for (index_t b = 0; b < 4; ++b) {
+      (void)engine.decode_step_seconds(batch,
+                                       static_cast<double>(b) * 64.0 + 1.0);
+    }
+  }
+
+  serve::sched::ReplicaState s = sched.make_replica_state();
+  sched.register_tenants(s, requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) s.queue.push_back(i);
+
+  // Warm-up ticks: one admission (grows the scratch and reserves each
+  // request's lifetime block vector), the prefill round, and two decode
+  // rounds to settle every lazily-grown container.
+  while (s.decode_steps < 2) {
+    ASSERT_TRUE(s.busy());
+    sched.admit(s, requests);
+    sched.step(s, requests);
+  }
+  ASSERT_EQ(s.running.size(), requests.size());
+
+  const std::uint64_t before = alloc_count();
+  for (int tick = 0; tick < 5; ++tick) {
+    sched.admit(s, requests);  // empty queue: must also be free of allocs
+    sched.step(s, requests);
+  }
+  const std::uint64_t allocs = alloc_count() - before;
+  EXPECT_EQ(allocs, 0u)
+      << allocs << " heap allocations across 5 steady-state decode ticks";
+  EXPECT_EQ(s.decode_steps, 7);
+  EXPECT_EQ(s.running.size(), requests.size());  // still mid-decode
+
+  // Drain to completion: every block returns to the manager.
+  while (s.busy()) {
+    sched.admit(s, requests);
+    sched.step(s, requests);
+  }
+  EXPECT_EQ(s.bm.used_blocks(), 0);
+}
+
+}  // namespace
+}  // namespace marlin
