@@ -104,5 +104,16 @@ int main(int argc, char** argv) {
   batch_table.print(std::cout);
   std::cout << "\nPaper reference: FP16 22.5->37.0 ms; MARLIN ~2.8-3.3x; "
                "Sparse-MARLIN ~3.3-3.9x, gains growing with QPS.\n";
+
+  // `--trace-out` / `--metrics-out`: record the MARLIN engine at the
+  // highest-load point of the sweep in one serial re-run.
+  {
+    serve::ServingConfig sc;
+    sc.qps = qps_values.back();
+    sc.duration_s = 120.0;
+    sc.seed = cli.seed;
+    sc.policy = cli.policy;
+    bench::maybe_write_observation(cli, *engines[1], sc);
+  }
   return 0;
 }

@@ -85,5 +85,16 @@ int main(int argc, char** argv) {
   sp.print(std::cout);
   std::cout << "\nPaper reference: ~1.5-1.9x — smaller than the TPOT gains "
                "because prefill is compute-bound.\n";
+
+  // `--trace-out` / `--metrics-out`: record the MARLIN engine at the
+  // highest-load point of the sweep in one serial re-run.
+  {
+    serve::ServingConfig sc;
+    sc.qps = qps_values.back();
+    sc.duration_s = 120.0;
+    sc.seed = cli.seed;
+    sc.policy = cli.policy;
+    bench::maybe_write_observation(cli, *engines[1], sc);
+  }
   return 0;
 }

@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
        {"--duration S", "arrival window seconds (default 40)"},
        {"--ttft-slo MS", "TTFT shed deadline for the SLO axis (default 250)"},
        {"--tpot-slo MS", "TPOT deadline for the SLO axis (default 15)"},
+       {"--trace-out FILE",
+        "write a Chrome/Perfetto trace of one recorded serial re-run "
+        "(autoscaled bursty config with the SLO axis on)"},
+       {"--metrics-out FILE",
+        "write the Prometheus-style metrics exposition of the same run"},
        bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
   const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 24.0, 40.0);
@@ -175,5 +180,25 @@ int main(int argc, char** argv) {
                "deadline; spreading the same trace over the fleet recovers "
                "them. The autoscaler rides the burst envelope instead of "
                "provisioning for the peak.\n";
+
+  // `--trace-out` / `--metrics-out`: one serial re-run of the richest
+  // config — bursty arrivals under the autoscaler with the SLO axis on —
+  // so the trace shows router placements, replica lifecycle, preemptions,
+  // sheds and SLO violations all at once.
+  {
+    serve::ServingConfig sc = base_config();
+    sc.cluster.placement = cluster::Placement::kLeastLoaded;
+    sc.shape = sched::WorkloadShape::kBursty;
+    sc.cluster.replicas = 1;
+    sc.cluster.autoscaler.enabled = true;
+    sc.cluster.autoscaler.min_replicas = 1;
+    sc.cluster.autoscaler.max_replicas = 6;
+    sc.cluster.autoscaler.interval_s = 2.0;
+    sc.cluster.autoscaler.scale_up_queue_per_replica = 4.0;
+    sc.cluster.autoscaler.scale_down_queue_per_replica = 0.5;
+    sc.slo.ttft_deadline_ms = ttft_slo;
+    sc.slo.tpot_deadline_ms = tpot_slo;
+    bench::maybe_write_observation(cli, engine, sc);
+  }
   return 0;
 }

@@ -43,6 +43,11 @@ int main(int argc, char** argv) {
        {"--kv-blocks N", "KV budget in blocks of 16 tokens (default 96)"},
        {"--spec-depth D", "draft tokens per speculative round (default 4)"},
        {"--spec-accept A", "per-token draft acceptance (default 0.8)"},
+       {"--trace-out FILE",
+        "write a Chrome/Perfetto trace of one recorded serial re-run "
+        "(tiered wfq cell with speculation)"},
+       {"--metrics-out FILE",
+        "write the Prometheus-style metrics exposition of the same run"},
        bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
   const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 20.0, 40.0);
@@ -177,5 +182,21 @@ int main(int argc, char** argv) {
   std::cout << "wfq trades batch-tenant latency for interactive-tenant TTFT "
                "under contention; speculation commits >1 token per round at "
                "one verify step's cost.\n";
+
+  // `--trace-out` / `--metrics-out`: record the tiered-mix wfq cell with
+  // speculation on (per-tenant service + spec-round events) in one serial
+  // re-run.
+  {
+    serve::ServingConfig sc;
+    sc.qps = cli.qps;
+    sc.duration_s = cli.duration_s;
+    sc.seed = cli.seed;
+    sc.policy = sched::SchedPolicy::kWeightedFair;
+    sc.kv_blocks = kv_blocks;
+    sc.tenants = mixes[0].tenants;
+    sc.speculation.depth = spec_depth;
+    sc.speculation.acceptance = spec_accept;
+    bench::maybe_write_observation(cli, engine, sc);
+  }
   return 0;
 }

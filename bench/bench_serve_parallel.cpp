@@ -36,6 +36,11 @@ int main(int argc, char** argv) {
       {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
        {"--qps Q", "mean arrival rate (default 10)"},
        {"--duration S", "arrival window seconds (default 40)"},
+       {"--trace-out FILE",
+        "write a Chrome/Perfetto trace of one recorded serial re-run "
+        "(TP2xPP2 grid with decode_split counter tracks)"},
+       {"--metrics-out FILE",
+        "write the Prometheus-style metrics exposition of the same run"},
        bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
   const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 10.0, 40.0);
@@ -153,5 +158,21 @@ int main(int argc, char** argv) {
   std::cout << "\nTensor parallelism cuts per-step compute but pays ring "
                "all-reduces; pipeline stages add fill/drain bubbles that "
                "more microbatches amortize.\n";
+
+  // `--trace-out` / `--metrics-out`: record the TP2xPP2 grid (non-trivial
+  // sharding, so the trace carries decode_split compute/comm/bubble
+  // counter tracks) in one serial re-run.
+  {
+    serve::ServingConfig sc;
+    sc.qps = cli.qps;
+    sc.duration_s = cli.duration_s;
+    sc.seed = cli.seed;
+    sc.policy = cli.policy;
+    sc.kv_blocks = -1;
+    sc.kv_block_size = block_size;
+    sc.max_batch = 32;
+    sc.parallel = {2, 2, 0};
+    bench::maybe_write_observation(cli, engine, sc);
+  }
   return 0;
 }

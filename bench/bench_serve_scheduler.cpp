@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
        {"--duration S", "arrival window seconds (default 60)"},
        {"--prefill-chunk N",
         "per-sequence prefill chunk tokens (0 = unchunked)"},
+       {"--trace-out FILE",
+        "write a Chrome/Perfetto trace of one recorded serial re-run "
+        "(tight-KV bursty cell)"},
+       {"--metrics-out FILE",
+        "write the Prometheus-style metrics exposition of the same run"},
        bench::bench_json_flag_help()});
   const SimContext ctx = bench::make_context(args);
   const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 8.0, 60.0);
@@ -120,5 +125,20 @@ int main(int argc, char** argv) {
   }
   std::cout << "Watermark admission keeps the tight budget from thrashing; "
                "preempted sequences recompute their KV on re-admission.\n";
+
+  // `--trace-out` / `--metrics-out`: record the tight-KV bursty cell (the
+  // one that queues and preempts) in one serial re-run.
+  {
+    serve::ServingConfig sc;
+    sc.qps = cli.qps;
+    sc.duration_s = cli.duration_s;
+    sc.seed = cli.seed;
+    sc.shape = sched::WorkloadShape::kBursty;
+    sc.policy = cli.policy;
+    sc.kv_blocks = 128;
+    sc.kv_block_size = block_size;
+    sc.prefill_chunk_tokens = chunk;
+    bench::maybe_write_observation(cli, engine, sc);
+  }
   return 0;
 }

@@ -34,10 +34,15 @@
 #include "core/problem.hpp"
 #include "gpusim/clock.hpp"
 #include "gpusim/device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/serve_recorder.hpp"
+#include "obs/trace.hpp"
 #include "serve/sched/scheduler.hpp"
 #include "serve/sched/workload.hpp"
+#include "serve/server_sim.hpp"
 #include "util/cli.hpp"
 #include "util/cpuid.hpp"
+#include "util/error.hpp"
 #include "util/sim_context.hpp"
 #include "util/table.hpp"
 
@@ -82,7 +87,14 @@ inline void maybe_print_help(const CliArgs& args, const std::string& binary,
 inline std::vector<FlagHelp> serving_flag_help() {
   return {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
           {"--policy P",
-           "scheduler admission policy: fcfs | sjf | max-util | wfq"}};
+           "scheduler admission policy: fcfs | sjf | max-util | wfq"},
+          {"--trace-out FILE",
+           "write a Chrome/Perfetto trace of one recorded serial re-run of "
+           "a representative config (stderr announce; golden stdout "
+           "untouched)"},
+          {"--metrics-out FILE",
+           "write the Prometheus-style metrics exposition of the same "
+           "recorded run"}};
 }
 
 /// Help entry for `--bench-json` (golden benches construct a
@@ -104,6 +116,10 @@ struct ServeCliOptions {
       serve::sched::WorkloadShape::kPoisson;
   double qps = 0;
   double duration_s = 0;
+  /// `--trace-out` / `--metrics-out` destinations (empty = off, the
+  /// default — the sweep itself always runs recorder-free).
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 inline ServeCliOptions parse_serve_cli(const CliArgs& args,
@@ -116,7 +132,43 @@ inline ServeCliOptions parse_serve_cli(const CliArgs& args,
       serve::sched::workload_by_name(args.get_string("workload", "poisson"));
   o.qps = args.get_double("qps", default_qps);
   o.duration_s = args.get_double("duration", default_duration_s);
+  o.trace_out = args.get_string("trace-out", "");
+  o.metrics_out = args.get_string("metrics-out", "");
   return o;
+}
+
+/// `--trace-out` / `--metrics-out` implementation shared by every serving
+/// bench: re-runs `cfg` once, serially, with an observability recorder
+/// attached, and writes the Perfetto trace / metrics exposition files.
+/// The recorded run is separate from the (recorder-free) golden sweep and
+/// announces on stderr only, so the golden-diffed stdout never changes.
+/// Because the simulation is deterministic and the recorder formats every
+/// float with fixed precision, the written files are byte-identical at
+/// every `--threads` setting and across repeat runs.
+inline void maybe_write_observation(const ServeCliOptions& cli,
+                                    const serve::Engine& engine,
+                                    serve::ServingConfig cfg) {
+  if (cli.trace_out.empty() && cli.metrics_out.empty()) return;
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  obs::ServeRecorder rec(cli.trace_out.empty() ? nullptr : &trace,
+                         cli.metrics_out.empty() ? nullptr : &metrics);
+  cfg.recorder = &rec;
+  (void)serve::simulate_cluster_detailed(engine, cfg);
+  std::ostringstream note;
+  if (!cli.trace_out.empty()) {
+    trace.write_file(cli.trace_out);
+    note << "[obs] trace: " << cli.trace_out << " (" << trace.events().size()
+         << " events)\n";
+  }
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out);
+    out << metrics.expose();
+    MARLIN_CHECK(out.good(),
+                 "failed writing metrics to " << cli.metrics_out);
+    note << "[obs] metrics: " << cli.metrics_out << "\n";
+  }
+  std::cerr << note.str();
 }
 
 /// Applies `--simd L` (wins over MARLIN_SIMD; "auto" drops back to the

@@ -60,7 +60,12 @@ int main(int argc, char** argv) {
        {"--ttft-slo MS", "TTFT deadline ms (shed-on-hopeless; 0 = off)"},
        {"--tpot-slo MS", "TPOT deadline ms (violation accounting; 0 = off)"},
        {"--autoscale", "enable the trace-driven autoscaler"},
-       {"--autoscale-max N", "autoscaler replica ceiling (default 8)"}});
+       {"--autoscale-max N", "autoscaler replica ceiling (default 8)"},
+       {"--trace-out FILE",
+        "write a Chrome/Perfetto trace of a serial re-run of this exact "
+        "config (MARLIN engine)"},
+       {"--metrics-out FILE",
+        "write the Prometheus-style metrics exposition of the same run"}});
   const SimContext ctx = make_sim_context(args);
   const bench::ServeCliOptions cli = bench::parse_serve_cli(args, 2.5, 120.0);
   serve::EngineConfig ecfg;
@@ -204,6 +209,15 @@ int main(int argc, char** argv) {
   if (clustered) {
     std::cout << "\nCluster:\n";
     for (const auto& line : cluster_rows) std::cout << "  " << line << "\n";
+  }
+
+  // `--trace-out` / `--metrics-out`: record the exact configured run on
+  // the MARLIN engine in one serial re-run.
+  if (!cli.trace_out.empty() || !cli.metrics_out.empty()) {
+    auto cfg = ecfg;
+    cfg.format = serve::WeightFormat::kMarlin;
+    const serve::Engine engine(cfg);
+    bench::maybe_write_observation(cli, engine, scfg);
   }
   return 0;
 }

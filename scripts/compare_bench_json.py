@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare two checked-in bench perf records for regressions.
+
+Each PR regenerates ``BENCH_<pr>.json`` at the repository root via the
+``bench-json`` build target (one ``{bench, wall_s, points, threads,
+simd}`` record per golden bench). This script diffs two of those files —
+by default the two newest by PR number — and fails when
+
+  * a bench present in the old file is missing from the new one
+    (coverage regressed), unless ``--allow-missing``;
+  * a matched bench (same ``bench`` name and ``simd`` level) got slower
+    by more than the tolerance.
+
+Wall-clocks are machine-dependent, so the tolerance is deliberately
+loose: a run only counts as a regression when it is BOTH ``--tolerance``
+(fractional, default 0.60 = 60%) slower AND at least ``--min-delta-s``
+(default 0.05 s) slower in absolute terms — sub-tenth-of-a-second jitter
+on tiny benches never trips the gate. On a pinned CI runner the
+tolerance can be tightened with ``--tolerance 0.25`` or similar.
+
+Usage:
+  compare_bench_json.py OLD.json NEW.json [options]
+  compare_bench_json.py [--root DIR] [options]   # auto-pick two newest
+
+Exit status: 0 = no regressions, 1 = regressions or malformed input.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def load_records(path):
+    """Returns {(bench, simd): record} for the JSON array in ``path``."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise ValueError(f"{os.path.basename(path)}: expected a JSON array")
+    records = {}
+    for i, rec in enumerate(data):
+        if not isinstance(rec, dict):
+            raise ValueError(f"{os.path.basename(path)}[{i}]: not an object")
+        bench = rec.get("bench")
+        wall = rec.get("wall_s")
+        if not isinstance(bench, str) or not bench:
+            raise ValueError(
+                f"{os.path.basename(path)}[{i}]: missing `bench`")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+            raise ValueError(
+                f"{os.path.basename(path)}[{i}]: missing `wall_s`")
+        # Older files (pre PR 7) carry no `simd` key; match them to the
+        # empty level so the series stays comparable across that change.
+        key = (bench, rec.get("simd", ""))
+        records[key] = rec
+    return records
+
+
+def newest_two(root):
+    """The two highest-numbered BENCH_<n>.json under ``root``."""
+    numbered = []
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if m:
+            numbered.append((int(m.group(1)), path))
+    numbered.sort()
+    if len(numbered) < 2:
+        return None
+    return numbered[-2][1], numbered[-1][1]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json perf records for regressions")
+    parser.add_argument("old", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH_*.json")
+    parser.add_argument("--root", default=".",
+                        help="repo root for auto-discovery when OLD/NEW "
+                             "are omitted (default: .)")
+    parser.add_argument("--tolerance", type=float, default=0.60,
+                        help="fractional slowdown that counts as a "
+                             "regression (default 0.60)")
+    parser.add_argument("--min-delta-s", type=float, default=0.05,
+                        help="absolute slowdown floor in seconds; smaller "
+                             "deltas never regress (default 0.05)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="don't fail when a bench disappears from the "
+                             "new file")
+    args = parser.parse_args()
+
+    if (args.old is None) != (args.new is None):
+        parser.error("pass both OLD and NEW, or neither")
+    if args.old is None:
+        pair = newest_two(os.path.abspath(args.root))
+        if pair is None:
+            # A repo with a single BENCH_*.json (first PR with the gate)
+            # has no baseline yet; that is not a failure.
+            print(f"fewer than two BENCH_*.json under {args.root}; "
+                  "nothing to compare")
+            return 0
+        old_path, new_path = pair
+    else:
+        old_path, new_path = args.old, args.new
+
+    try:
+        old = load_records(old_path)
+        new = load_records(new_path)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"compare_bench_json: {err}")
+        return 1
+
+    old_name = os.path.basename(old_path)
+    new_name = os.path.basename(new_path)
+    failures = []
+    compared = 0
+    matched = set()
+    for key, old_rec in sorted(old.items()):
+        bench, simd = key
+        label = f"{bench}" + (f" [{simd}]" if simd else "")
+        new_rec = new.get(key)
+        if new_rec is not None:
+            matched.add(key)
+        elif simd == "":
+            # Schema bridge: records predating the `simd` key (pre PR 7)
+            # match a new record of the same bench when it is unambiguous.
+            candidates = [k for k in new if k[0] == bench]
+            if len(candidates) == 1:
+                matched.add(candidates[0])
+                new_rec = new[candidates[0]]
+        if new_rec is None:
+            if not args.allow_missing:
+                failures.append(f"{label}: in {old_name} but missing from "
+                                f"{new_name}")
+            continue
+        compared += 1
+        old_wall = float(old_rec["wall_s"])
+        new_wall = float(new_rec["wall_s"])
+        delta = new_wall - old_wall
+        limit = old_wall * args.tolerance
+        if delta > args.min_delta_s and delta > limit:
+            failures.append(
+                f"{label}: {old_wall:.3f} s -> {new_wall:.3f} s "
+                f"(+{delta:.3f} s, +{delta / old_wall * 100.0:.0f}%; "
+                f"tolerance {args.tolerance * 100.0:.0f}% and "
+                f"{args.min_delta_s:.3f} s)")
+        else:
+            print(f"  ok {label}: {old_wall:.3f} s -> {new_wall:.3f} s")
+    for key in sorted(set(new) - set(old) - matched):
+        bench, simd = key
+        print(f"  new {bench}" + (f" [{simd}]" if simd else ""))
+
+    if failures:
+        print(f"{len(failures)} perf-trajectory problem(s) "
+              f"({old_name} -> {new_name}):")
+        for f in failures:
+            print(" ", f)
+        return 1
+    print(f"compared {compared} bench record(s) ({old_name} -> {new_name}): "
+          "no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace marlin::obs {
+
+std::string format_metric_value(double v) {
+  if (std::floor(v) == v && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return format_fixed_trimmed(v, 6);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  MARLIN_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    MARLIN_CHECK(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be strictly ascending ("
+                     << bounds_[i - 1] << " !< " << bounds_[i] << ")");
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t Histogram::cumulative_count(std::size_t i) const {
+  MARLIN_ASSERT(i < counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i; ++b) total += counts_[b];
+  return total;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.help = help;
+  } else {
+    MARLIN_CHECK(it->second.kind == kind,
+                 "metric `" << name
+                            << "` registered as two instrument kinds");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  return family_of(name, help, Kind::kCounter).counters[labels];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help,
+                              const std::string& labels) {
+  return family_of(name, help, Kind::kGauge).gauges[labels];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& labels) {
+  Family& fam = family_of(name, help, Kind::kHistogram);
+  auto it = fam.histograms.find(labels);
+  if (it == fam.histograms.end()) {
+    it = fam.histograms.emplace(labels, Histogram(std::move(upper_bounds)))
+             .first;
+  } else {
+    MARLIN_CHECK(it->second.upper_bounds() == upper_bounds,
+                 "metric `" << name
+                            << "` re-registered with different buckets");
+  }
+  return it->second;
+}
+
+namespace {
+
+/// `name{labels}` / `name{labels,extra}` series line prefix; plain `name`
+/// when both are empty.
+std::string series_name(const std::string& name, const std::string& labels,
+                        const std::string& extra = "") {
+  std::string out = name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::expose() const {
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    switch (fam.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        for (const auto& [labels, c] : fam.counters) {
+          out += series_name(name, labels) + " " +
+                 format_metric_value(c.value()) + "\n";
+        }
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        for (const auto& [labels, g] : fam.gauges) {
+          out += series_name(name, labels) + " " +
+                 format_metric_value(g.value()) + "\n";
+        }
+        break;
+      case Kind::kHistogram:
+        out += "# TYPE " + name + " histogram\n";
+        for (const auto& [labels, h] : fam.histograms) {
+          const auto& bounds = h.upper_bounds();
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            out += series_name(name + "_bucket", labels,
+                               "le=\"" + format_metric_value(bounds[i]) +
+                                   "\"") +
+                   " " + std::to_string(h.cumulative_count(i)) + "\n";
+          }
+          out += series_name(name + "_bucket", labels, "le=\"+Inf\"") + " " +
+                 std::to_string(h.count()) + "\n";
+          out += series_name(name + "_sum", labels) + " " +
+                 format_metric_value(h.sum()) + "\n";
+          out += series_name(name + "_count", labels) + " " +
+                 std::to_string(h.count()) + "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace marlin::obs

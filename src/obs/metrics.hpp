@@ -1,0 +1,121 @@
+#pragma once
+// Deterministic serving metrics: counters, gauges and fixed-bucket
+// histograms behind a registry with Prometheus-style text exposition.
+//
+// Determinism contract (the metrics twin of the trace recorder's): the
+// exposition is byte-identical across runs, platforms and thread counts —
+// families render sorted by metric name, series sorted by label string,
+// and values in fixed decimal (integral values without a fraction,
+// others with up to six trimmed decimals). There is no clock and no
+// locking: metrics are only ever touched from the strictly serial
+// cluster EventLoop.
+//
+// Instruments are owned by the registry (stable references — callers
+// cache the `Counter&`/`Histogram&` they update on the hot path) and are
+// plain accumulators; nothing here allocates after registration except
+// the exposition itself.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace marlin::obs {
+
+/// Fixed-decimal metric value rendering: integral values print without a
+/// fraction ("42"), others with up to six trimmed decimals ("0.125").
+[[nodiscard]] std::string format_metric_value(double v);
+
+/// Monotonically increasing accumulator.
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Last-write-wins sample.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  /// Keeps the running maximum (peak gauges).
+  void set_max(double v) { value_ = value_ < v ? v : value_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (less-or-equal) semantics:
+/// an observation lands in the first bucket whose upper bound is >= the
+/// value, or in the implicit +Inf bucket past the last bound.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Observations in bucket `i` alone (`bounds_.size()` = the +Inf
+  /// bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i];
+  }
+  /// Cumulative count of observations <= `upper_bounds()[i]` — the value
+  /// the `_bucket{le=...}` exposition lines carry.
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // one per bound, +Inf last
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+/// Name/help-indexed instrument store with deterministic text exposition.
+/// `labels` is a preformatted Prometheus label list without braces (e.g.
+/// `tenant="3"`); the empty string is the unlabelled series. Re-looking
+/// up a series returns the same instrument; registering one name as two
+/// different instrument kinds (or a histogram with different buckets)
+/// throws.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help,
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> upper_bounds,
+                       const std::string& labels = "");
+
+  /// Prometheus-style text exposition (`# HELP` / `# TYPE` plus one line
+  /// per series), byte-deterministic per the header contract.
+  [[nodiscard]] std::string expose() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    // One entry per label set; std::map keeps references stable and the
+    // exposition order sorted.
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  Family& family_of(const std::string& name, const std::string& help,
+                    Kind kind);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace marlin::obs

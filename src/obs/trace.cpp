@@ -1,0 +1,223 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace marlin::obs {
+
+char phase_char(TracePhase ph) {
+  switch (ph) {
+    case TracePhase::kBegin:
+      return 'B';
+    case TracePhase::kEnd:
+      return 'E';
+    case TracePhase::kComplete:
+      return 'X';
+    case TracePhase::kInstant:
+      return 'i';
+    case TracePhase::kCounter:
+      return 'C';
+    case TracePhase::kMetadata:
+      return 'M';
+  }
+  return '?';
+}
+
+std::string format_fixed_trimmed(double v, int max_decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_decimals, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") return "0";
+  return s;
+}
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+/// JSON string escaping for names/categories/arg values. The recorder's
+/// strings are all ASCII literals today, but the writer must never emit
+/// an invalid document.
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    append_json_string(out, args[i].key);
+    out += ':';
+    switch (args[i].kind) {
+      case TraceArg::Kind::kInt:
+        out += std::to_string(args[i].int_value);
+        break;
+      case TraceArg::Kind::kDouble:
+        out += format_fixed_trimmed(args[i].double_value, 6);
+        break;
+      case TraceArg::Kind::kString:
+        append_json_string(out, args[i].string_value);
+        break;
+    }
+  }
+  out += '}';
+}
+
+void append_event(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":";
+  append_json_string(out, e.name);
+  if (!e.cat.empty()) {
+    out += ",\"cat\":";
+    append_json_string(out, e.cat);
+  }
+  out += ",\"ph\":\"";
+  out += phase_char(e.ph);
+  out += "\",\"pid\":";
+  out += std::to_string(e.pid);
+  out += ",\"tid\":";
+  out += std::to_string(e.tid);
+  out += ",\"ts\":";
+  out += format_fixed_trimmed(e.ts_us, 3);
+  if (e.ph == TracePhase::kComplete) {
+    out += ",\"dur\":";
+    out += format_fixed_trimmed(e.dur_us, 3);
+  }
+  if (e.ph == TracePhase::kInstant) out += ",\"s\":\"t\"";  // thread-scoped
+  if (!e.args.empty() || e.ph == TracePhase::kMetadata ||
+      e.ph == TracePhase::kCounter) {
+    out += ',';
+    append_args(out, e.args);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void TraceRecorder::begin(std::int64_t pid, std::int64_t tid,
+                          std::string name, std::string cat, double t_s,
+                          std::vector<TraceArg> args) {
+  events_.push_back({std::move(name), std::move(cat), TracePhase::kBegin,
+                     t_s * kMicrosPerSecond, 0, pid, tid, std::move(args)});
+}
+
+void TraceRecorder::end(std::int64_t pid, std::int64_t tid, std::string name,
+                        std::string cat, double t_s) {
+  events_.push_back({std::move(name), std::move(cat), TracePhase::kEnd,
+                     t_s * kMicrosPerSecond, 0, pid, tid, {}});
+}
+
+void TraceRecorder::complete(std::int64_t pid, std::int64_t tid,
+                             std::string name, std::string cat, double t0_s,
+                             double t1_s, std::vector<TraceArg> args) {
+  MARLIN_ASSERT(t1_s >= t0_s);
+  events_.push_back({std::move(name), std::move(cat), TracePhase::kComplete,
+                     t0_s * kMicrosPerSecond, (t1_s - t0_s) * kMicrosPerSecond,
+                     pid, tid, std::move(args)});
+}
+
+void TraceRecorder::instant(std::int64_t pid, std::int64_t tid,
+                            std::string name, std::string cat, double t_s,
+                            std::vector<TraceArg> args) {
+  events_.push_back({std::move(name), std::move(cat), TracePhase::kInstant,
+                     t_s * kMicrosPerSecond, 0, pid, tid, std::move(args)});
+}
+
+void TraceRecorder::counter(std::int64_t pid, std::int64_t tid,
+                            std::string name, double t_s,
+                            std::vector<TraceArg> args) {
+  events_.push_back({std::move(name), "counter", TracePhase::kCounter,
+                     t_s * kMicrosPerSecond, 0, pid, tid, std::move(args)});
+}
+
+void TraceRecorder::set_process_name(std::int64_t pid, std::string name) {
+  for (const TraceEvent& m : metadata_) {
+    if (m.name == "process_name" && m.pid == pid) return;
+  }
+  metadata_.push_back({"process_name", {}, TracePhase::kMetadata, 0, 0, pid,
+                       0, {TraceArg("name", std::move(name))}});
+}
+
+void TraceRecorder::set_thread_name(std::int64_t pid, std::int64_t tid,
+                                    std::string name) {
+  for (const TraceEvent& m : metadata_) {
+    if (m.name == "thread_name" && m.pid == pid && m.tid == tid) return;
+  }
+  metadata_.push_back({"thread_name", {}, TracePhase::kMetadata, 0, 0, pid,
+                       tid, {TraceArg("name", std::move(name))}});
+}
+
+std::string TraceRecorder::to_json() const {
+  // Metadata first, sorted by (pid, tid, name) so the byte stream does
+  // not depend on registration order; then every event in recording
+  // order (itself deterministic — the event loop is strictly serial).
+  std::vector<const TraceEvent*> meta;
+  meta.reserve(metadata_.size());
+  for (const TraceEvent& m : metadata_) meta.push_back(&m);
+  std::sort(meta.begin(), meta.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->pid != b->pid) return a->pid < b->pid;
+              if (a->tid != b->tid) return a->tid < b->tid;
+              return a->name < b->name;
+            });
+
+  std::string out;
+  out.reserve((meta.size() + events_.size()) * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const TraceEvent& e) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event(out, e);
+  };
+  for (const TraceEvent* m : meta) emit(*m);
+  for (const TraceEvent& e : events_) emit(e);
+  out += "\n]}\n";
+  return out;
+}
+
+void TraceRecorder::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  MARLIN_CHECK(out.good(), "cannot open trace output file `" << path << "`");
+  out << to_json();
+  MARLIN_CHECK(out.good(), "failed writing trace output file `" << path
+                                                                << "`");
+}
+
+}  // namespace marlin::obs

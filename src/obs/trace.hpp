@@ -1,0 +1,121 @@
+#pragma once
+// Deterministic Chrome trace-event recording for the serving simulator.
+//
+// A TraceRecorder accumulates structured events stamped on the *simulated*
+// clock and serializes them as Chrome trace-event JSON — the format
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly.
+// Determinism is a hard contract, matching the simulator's
+// bit-identical-across-threads guarantee:
+//
+//   * events are kept in recording order (the cluster EventLoop is
+//     strictly serial, so that order is itself deterministic);
+//   * timestamps are fixed-format decimal microseconds (three fractional
+//     digits, trailing zeros trimmed), never locale- or
+//     platform-dependent;
+//   * metadata (process/thread naming) events are emitted first, sorted
+//     by (pid, tid), so the byte stream is independent of when names
+//     were registered.
+//
+// The recorder is deliberately dumb storage: it knows nothing about
+// requests or replicas. The serving-specific event taxonomy (track
+// layout, span protocol) lives in obs::ServeRecorder.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace marlin::obs {
+
+/// The Chrome trace-event phases the recorder emits: duration-span
+/// begin/end pairs, self-contained complete events, instants, counter
+/// samples, and process/thread-naming metadata.
+enum class TracePhase { kBegin, kEnd, kComplete, kInstant, kCounter,
+                        kMetadata };
+
+/// The single-character `ph` field of the JSON event ('B', 'E', 'X', 'i',
+/// 'C', 'M').
+[[nodiscard]] char phase_char(TracePhase ph);
+
+/// One event argument: a key plus an integer, floating-point or string
+/// value (rendered into the event's `args` object).
+struct TraceArg {
+  enum class Kind { kInt, kDouble, kString };
+
+  TraceArg(std::string key_, std::int64_t v)
+      : key(std::move(key_)), kind(Kind::kInt), int_value(v) {}
+  TraceArg(std::string key_, double v)
+      : key(std::move(key_)), kind(Kind::kDouble), double_value(v) {}
+  TraceArg(std::string key_, std::string v)
+      : key(std::move(key_)), kind(Kind::kString),
+        string_value(std::move(v)) {}
+
+  std::string key;
+  Kind kind;
+  std::int64_t int_value = 0;
+  double double_value = 0;
+  std::string string_value;
+};
+
+/// One recorded event. `ts_us`/`dur_us` are simulated microseconds;
+/// `pid`/`tid` select the Perfetto track (see ServeRecorder for the
+/// serving layout).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  TracePhase ph = TracePhase::kInstant;
+  double ts_us = 0;
+  double dur_us = 0;  // kComplete only
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Fixed-format decimal rendering shared by the trace writer (and its
+/// tests): `%.*f` with trailing zeros — and a then-trailing dot —
+/// trimmed, so "12.500" prints as "12.5" and "3.000" as "3". Never
+/// scientific, never locale-dependent.
+[[nodiscard]] std::string format_fixed_trimmed(double v, int max_decimals);
+
+class TraceRecorder {
+ public:
+  /// Opens a duration span on track (pid, tid); must be closed by an
+  /// `end` with the same name on the same track. `t_s` is simulated
+  /// seconds.
+  void begin(std::int64_t pid, std::int64_t tid, std::string name,
+             std::string cat, double t_s, std::vector<TraceArg> args = {});
+  void end(std::int64_t pid, std::int64_t tid, std::string name,
+           std::string cat, double t_s);
+  /// Self-contained span [t0_s, t1_s] (phase 'X').
+  void complete(std::int64_t pid, std::int64_t tid, std::string name,
+                std::string cat, double t0_s, double t1_s,
+                std::vector<TraceArg> args = {});
+  void instant(std::int64_t pid, std::int64_t tid, std::string name,
+               std::string cat, double t_s,
+               std::vector<TraceArg> args = {});
+  /// Counter sample: every arg becomes one series of the counter track.
+  void counter(std::int64_t pid, std::int64_t tid, std::string name,
+               double t_s, std::vector<TraceArg> args);
+
+  /// Names the Perfetto process/thread rows. Idempotent per (pid, tid);
+  /// emitted before all other events regardless of registration time.
+  void set_process_name(std::int64_t pid, std::string name);
+  void set_thread_name(std::int64_t pid, std::int64_t tid, std::string name);
+
+  /// Recorded events, recording order, metadata excluded — the white-box
+  /// surface the span-balance and monotonicity tests walk.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// The full Chrome trace-event JSON document (one event per line;
+  /// byte-deterministic per the header contract).
+  [[nodiscard]] std::string to_json() const;
+  /// Writes `to_json()` to `path`; throws on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> metadata_;
+};
+
+}  // namespace marlin::obs

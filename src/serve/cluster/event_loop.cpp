@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/serve_recorder.hpp"
 #include "util/error.hpp"
 
 namespace marlin::serve::cluster {
@@ -40,7 +41,8 @@ EventLoop::EventLoop(const sched::Scheduler& scheduler, ClusterOptions opts)
 }
 
 ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
-                            const SimContext& ctx) const {
+                            const SimContext& ctx,
+                            obs::ServeRecorder* obs) const {
   ClusterStats stats;
   std::vector<sched::Request>& requests = stats.sched.requests;
   requests.reserve(trace.size());
@@ -66,8 +68,12 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
   for (index_t i = 0; i < opts_.replicas; ++i) {
     fleet.emplace_back(i, scheduler_);
     fleet.back().register_tenants(requests);
+    if (obs != nullptr) {
+      fleet.back().set_observer(obs);
+      obs->on_replica_start(0.0, i);
+    }
   }
-  Router router(opts_.placement);
+  Router router(opts_.placement, obs);
   std::size_t next_arrival = 0;
 
   const auto routable_count = [&] {
@@ -86,7 +92,11 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     return best;
   };
   const auto retire_drained = [&] {
-    for (Replica& rep : fleet) rep.try_retire();
+    for (Replica& rep : fleet) {
+      if (rep.try_retire() && obs != nullptr) {
+        obs->on_replica_retire(rep.now(), rep.id());
+      }
+    }
   };
 
   const AutoscalerConfig& as = opts_.autoscaler;
@@ -113,23 +123,37 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
           static_cast<double>(queued) / static_cast<double>(routable);
       if (load > as.scale_up_queue_per_replica &&
           routable < as.max_replicas) {
-        fleet.emplace_back(static_cast<index_t>(fleet.size()), scheduler_);
+        const index_t new_id = static_cast<index_t>(fleet.size());
+        fleet.emplace_back(new_id, scheduler_);
         fleet.back().advance_to(t_eval);  // joins at the evaluation time
         fleet.back().register_tenants(requests);
+        if (obs != nullptr) {
+          fleet.back().set_observer(obs);
+          obs->on_autoscaler_eval(t_eval, load, routable, "scale-up");
+          obs->on_replica_start(t_eval, new_id);
+        }
         ++stats.replicas_added;
         stats.peak_replicas = std::max(stats.peak_replicas, routable_count());
       } else if (load < as.scale_down_queue_per_replica &&
                  routable > as.min_replicas) {
+        if (obs != nullptr) {
+          obs->on_autoscaler_eval(t_eval, load, routable, "scale-down");
+        }
         // Drain the highest-id routable replica (the newest addition —
         // LIFO keeps the stable core replicas serving).
         for (std::size_t i = fleet.size(); i-- > 0;) {
           if (fleet[i].routable()) {
             fleet[i].begin_drain();
             ++stats.replicas_drained;
+            if (obs != nullptr) {
+              obs->on_replica_drain(t_eval, fleet[i].id());
+            }
             break;
           }
         }
         retire_drained();
+      } else if (obs != nullptr) {
+        obs->on_autoscaler_eval(t_eval, load, routable, "hold");
       }
     }
   };
@@ -230,6 +254,19 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     if (r.finish_s >= 0 && r.replica >= 0) {
       ++stats.replicas[static_cast<std::size_t>(r.replica)].completed;
     }
+  }
+  if (obs != nullptr) {
+    index_t allocated = 0;
+    index_t freed = 0;
+    index_t grow_failures = 0;
+    for (const Replica& rep : fleet) {
+      const sched::ReplicaState& s = rep.state();
+      allocated += s.bm.blocks_allocated_total();
+      freed += s.bm.blocks_freed_total();
+      grow_failures += s.bm.grow_failures();
+    }
+    obs->on_run_end(stats.sched.sim_end_s, stats.sched.peak_kv_blocks,
+                    stats.peak_replicas, allocated, freed, grow_failures);
   }
   return stats;
 }

@@ -102,10 +102,14 @@ class EventLoop {
   /// Runs `trace` (ascending arrival times) to completion. `ctx` only
   /// pre-warms the step model's decode memo — results are bit-identical
   /// for every context. Stateless across calls: every run builds a fresh
-  /// fleet, so repeat runs reproduce exactly.
+  /// fleet, so repeat runs reproduce exactly. `obs` (borrowed, may be
+  /// null) attaches the observability recorder to the router, every
+  /// replica and the autoscaler; the run's scheduling decisions are
+  /// identical with or without it.
   [[nodiscard]] ClusterStats run(
       const std::vector<sched::TraceRequest>& trace,
-      const SimContext& ctx = SimContext::serial_context()) const;
+      const SimContext& ctx = SimContext::serial_context(),
+      obs::ServeRecorder* obs = nullptr) const;
 
  private:
   const sched::Scheduler& scheduler_;

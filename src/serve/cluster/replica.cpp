@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/serve_recorder.hpp"
 #include "util/error.hpp"
 
 namespace marlin::serve::cluster {
@@ -20,7 +21,9 @@ const char* to_string(ReplicaLifecycle lc) {
 
 Replica::Replica(index_t id, const sched::Scheduler& scheduler)
     : id_(id), scheduler_(&scheduler),
-      state_(scheduler.make_replica_state()) {}
+      state_(scheduler.make_replica_state()) {
+  state_.replica_id = id;
+}
 
 void Replica::advance_to(double t) { state_.now = std::max(state_.now, t); }
 
@@ -35,11 +38,20 @@ void Replica::deliver(std::size_t request_id,
   advance_to(r.arrival_s);
   state_.queue.push_back(request_id);
   ++routed_;
+  if (state_.obs != nullptr) {
+    state_.obs->on_request_queued(r.arrival_s, r.id, r.tenant_id, id_);
+  }
 }
 
 void Replica::tick(std::vector<sched::Request>& requests) {
   scheduler_->admit(state_, requests);
   scheduler_->step(state_, requests);
+  if (state_.obs != nullptr) {
+    state_.obs->on_tick(state_.now, id_,
+                        static_cast<index_t>(state_.queue.size()),
+                        static_cast<index_t>(state_.running.size()),
+                        state_.bm.used_blocks(), state_.bm.total_blocks());
+  }
 }
 
 void Replica::register_tenants(const std::vector<sched::Request>& requests) {

@@ -59,6 +59,11 @@ class Replica {
   /// replicas the autoscaler adds mid-run.
   void register_tenants(const std::vector<sched::Request>& requests);
 
+  /// Attaches the observability recorder (borrowed; null detaches — the
+  /// default, recording-off fast path). The EventLoop sets this on every
+  /// replica it creates when a recorder is supplied.
+  void set_observer(obs::ServeRecorder* obs) { state_.obs = obs; }
+
   /// Stops new placements; already-routed work keeps being served.
   void begin_drain();
   /// Retires a draining replica once idle. Returns true on the

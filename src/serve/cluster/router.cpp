@@ -1,5 +1,6 @@
 #include "serve/cluster/router.hpp"
 
+#include "obs/serve_recorder.hpp"
 #include "util/error.hpp"
 
 namespace marlin::serve::cluster {
@@ -51,11 +52,13 @@ std::size_t Router::pick(const sched::Request& r,
   MARLIN_CHECK(!routable.empty(),
                "router has no routable replica for request " << r.id);
 
+  std::size_t chosen = routable[0];
   switch (placement_) {
     case Placement::kRoundRobin: {
       const std::size_t slot = rr_cursor_ % routable.size();
       rr_cursor_ = slot + 1;  // stays bounded as the routable set resizes
-      return routable[slot];
+      chosen = routable[slot];
+      break;
     }
     case Placement::kLeastLoaded: {
       std::size_t best = routable[0];
@@ -67,14 +70,20 @@ std::size_t Router::pick(const sched::Request& r,
           best = routable[k];
         }
       }
-      return best;
+      chosen = best;
+      break;
     }
     case Placement::kSessionAffinity: {
       const auto h = mix64(static_cast<std::uint64_t>(r.tenant_id));
-      return routable[static_cast<std::size_t>(h % routable.size())];
+      chosen = routable[static_cast<std::size_t>(h % routable.size())];
+      break;
     }
   }
-  return routable[0];  // unreachable
+  if (obs_ != nullptr) {
+    obs_->on_route(r.arrival_s, r.id, r.tenant_id, fleet[chosen].id(),
+                   to_string(placement_));
+  }
+  return chosen;
 }
 
 }  // namespace marlin::serve::cluster

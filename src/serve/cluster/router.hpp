@@ -37,7 +37,10 @@ Placement placement_by_name(const std::string& name);
 
 class Router {
  public:
-  explicit Router(Placement placement) : placement_(placement) {}
+  /// `obs` (borrowed, may be null) records one placement instant per
+  /// arrival on the cluster/router trace track.
+  explicit Router(Placement placement, obs::ServeRecorder* obs = nullptr)
+      : placement_(placement), obs_(obs) {}
 
   [[nodiscard]] Placement placement() const { return placement_; }
 
@@ -49,6 +52,7 @@ class Router {
 
  private:
   Placement placement_;
+  obs::ServeRecorder* obs_;
   std::size_t rr_cursor_ = 0;  // next round-robin *routable-set* slot
   /// Reused routable-set scratch: `pick` runs once per arrival, and the
   /// capacity retained here keeps the routing hot path allocation-free.

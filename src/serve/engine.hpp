@@ -62,6 +62,21 @@ class StepModel {
   /// cached values must equal on-demand computation bit-for-bit).
   virtual void warm_decode_cache(const SimContext& ctx, index_t max_batch,
                                  double max_context) const = 0;
+
+  /// Optional decode-step latency decomposition for the observability
+  /// layer: when the model can attribute a decode step to compute vs
+  /// interconnect communication plus a pipeline-bubble share (the
+  /// multi-GPU `parallel::ParallelEngine`), it fills the three outputs
+  /// and returns true. The default — the single-device Engine has no
+  /// meaningful split — declines, and recording falls back to the
+  /// undecomposed step time.
+  [[nodiscard]] virtual bool decode_split(index_t /*batch*/,
+                                          double /*avg_context*/,
+                                          double* /*compute_s*/,
+                                          double* /*comm_s*/,
+                                          double* /*bubble_fraction*/) const {
+    return false;
+  }
 };
 
 struct EngineConfig {

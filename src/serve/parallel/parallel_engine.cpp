@@ -92,6 +92,18 @@ StepBreakdown ParallelEngine::decode_breakdown(index_t batch,
   return decode_breakdown_at(batch, static_cast<double>(bucket) * 64.0 + 32.0);
 }
 
+bool ParallelEngine::decode_split(index_t batch, double avg_context,
+                                  double* compute_s, double* comm_s,
+                                  double* bubble_fraction) const {
+  // Trivial configs delegate to the wrapped Engine, which has no split.
+  if (cfg_.trivial()) return false;
+  const StepBreakdown b = decode_breakdown(batch, avg_context);
+  *compute_s = b.stage_compute_s;
+  *comm_s = b.tp_comm_s + b.pp_send_s;
+  *bubble_fraction = b.bubble_fraction;
+  return true;
+}
+
 double ParallelEngine::decode_step_seconds(index_t batch,
                                            double avg_context) const {
   MARLIN_CHECK(batch >= 1, "batch must be >= 1");

@@ -74,6 +74,13 @@ class ParallelEngine final : public StepModel {
   [[nodiscard]] StepBreakdown decode_breakdown(index_t batch,
                                                double avg_context) const;
 
+  /// Observability split over `decode_breakdown`: per-microbatch stage
+  /// compute, communication (TP all-reduce share plus activation sends)
+  /// and the pipeline bubble fraction.
+  [[nodiscard]] bool decode_split(index_t batch, double avg_context,
+                                  double* compute_s, double* comm_s,
+                                  double* bubble_fraction) const override;
+
   [[nodiscard]] const ParallelConfig& config() const { return cfg_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
   /// All world_size() workers, stage-major ((tp 0..n, stage 0), ...).

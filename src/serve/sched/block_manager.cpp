@@ -79,6 +79,7 @@ void BlockManager::allocate_into(std::vector<index_t>& out, index_t n,
   }
   used_ += n;
   tenant_used_[tenant] += n;
+  allocated_total_ += n;
   peak_used_ = std::max(peak_used_, used_);
 }
 
@@ -97,6 +98,7 @@ void BlockManager::free(std::vector<index_t>& ids, index_t tenant) {
   }
   used_ -= n;
   tenant_used_[tenant] -= n;
+  freed_total_ += n;
   ids.clear();
 }
 
@@ -105,7 +107,10 @@ bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens,
   const index_t need =
       blocks_for_tokens(tokens) - static_cast<index_t>(held.size());
   if (need <= 0) return true;
-  if (!can_allocate(need)) return false;
+  if (!can_allocate(need)) {
+    ++grow_failures_;
+    return false;
+  }
   allocate_into(held, need, tenant);
   return true;
 }

@@ -58,6 +58,19 @@ class BlockManager {
   /// High-water mark of blocks simultaneously in use.
   [[nodiscard]] index_t peak_used_blocks() const { return peak_used_; }
 
+  // Cumulative traffic counters for the observability layer (plain
+  // increments on the allocation paths — recording off or on, they cost
+  // the same and allocate nothing).
+
+  /// Total blocks handed out over the manager's lifetime.
+  [[nodiscard]] index_t blocks_allocated_total() const {
+    return allocated_total_;
+  }
+  /// Total blocks returned to the free list.
+  [[nodiscard]] index_t blocks_freed_total() const { return freed_total_; }
+  /// `grow_to` calls the budget refused — the scheduler preempts on each.
+  [[nodiscard]] index_t grow_failures() const { return grow_failures_; }
+
   /// Blocks needed to hold `tokens` tokens of KV.
   [[nodiscard]] index_t blocks_for_tokens(index_t tokens) const;
 
@@ -110,6 +123,9 @@ class BlockManager {
   index_t watermark_blocks_ = 0;
   index_t used_ = 0;
   index_t peak_used_ = 0;
+  index_t allocated_total_ = 0;
+  index_t freed_total_ = 0;
+  index_t grow_failures_ = 0;
   std::vector<index_t> free_list_;       // bounded mode: ids ready to reuse
   std::vector<bool> allocated_;          // per-id liveness (double-free guard)
   index_t next_fresh_ = 0;               // unlimited mode: next unseen id

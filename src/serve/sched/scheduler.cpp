@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/serve_recorder.hpp"
 #include "serve/cluster/event_loop.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
@@ -214,11 +215,15 @@ class Ticker {
     s_.running.erase(s_.running.begin() + static_cast<std::ptrdiff_t>(pos));
     Request& v = requests_[victim];
     v.set_state(RequestState::kPreempted);
+    const auto blocks_freed = static_cast<index_t>(v.blocks.size());
     s_.bm.free(v.blocks, v.tenant_id);
     v.prefilled = 0;
     ++v.preemptions;
     ++s_.preemptions;
     s_.queue.push_front(victim);
+    if (s_.obs != nullptr) {
+      s_.obs->on_preempted(s_.now, v.id, s_.replica_id, blocks_freed);
+    }
   }
 
   // The most over-quota tenant's last-admitted running sequence: the
@@ -378,6 +383,7 @@ void Ticker::admit() {
       r.set_state(RequestState::kFinished);
       ++s_.shed;
       scr.taken[id] = 1;
+      if (s_.obs != nullptr) s_.obs->on_shed(s_.now, r.id);
       continue;
     }
     if (never_fits(r)) {
@@ -385,6 +391,7 @@ void Ticker::admit() {
       r.set_state(RequestState::kFinished);
       ++s_.rejected;
       scr.taken[id] = 1;
+      if (s_.obs != nullptr) s_.obs->on_rejected(s_.now, r.id);
       continue;
     }
     if (wfq_ && !s_.bm.can_admit(r.prefill_target())) {
@@ -406,6 +413,10 @@ void Ticker::admit() {
     r.prefilled = 0;
     s_.prefilling.push_back(id);
     scr.taken[id] = 1;
+    if (s_.obs != nullptr) {
+      s_.obs->on_admitted(s_.now, r.id, s_.replica_id,
+                          static_cast<index_t>(r.blocks.size()));
+    }
   }
   std::erase_if(s_.queue,
                 [&](std::size_t id) { return scr.taken[id] != 0; });
@@ -428,9 +439,14 @@ void Ticker::prefill_round() {
   // flight (the goldens path) this is exactly each sequence's prompt.
   const auto tokens_per_seq = static_cast<index_t>(
       std::llround(total_new / static_cast<double>(count)));
+  const double t0 = s_.now;
   s_.now +=
       model_.prefill_seconds(count, std::max<index_t>(1, tokens_per_seq));
   ++s_.prefill_steps;
+  if (s_.obs != nullptr) {
+    s_.obs->on_prefill_step(t0, s_.now, s_.replica_id, count,
+                            std::max<index_t>(1, tokens_per_seq));
+  }
 
   // Stable in-place compaction (the write index trails the read index),
   // so no per-round vector is allocated.
@@ -448,12 +464,18 @@ void Ticker::prefill_round() {
       continue;
     }
     r.set_state(RequestState::kRunning);
-    if (r.first_token_s < 0) {
+    const bool first_token = r.first_token_s < 0;
+    if (first_token) {
       r.first_token_s = s_.now;  // prefill emits #1
       if (cfg_.slo.ttft_deadline_ms > 0 &&
           request_ttft_ms(r) > cfg_.slo.ttft_deadline_ms) {
         ++s_.slo_ttft_violations;
+        if (s_.obs != nullptr) s_.obs->on_slo_ttft_violation(s_.now, r.id);
       }
+    }
+    if (s_.obs != nullptr) {
+      s_.obs->on_prefill_done(s_.now, r.id, first_token,
+                              first_token ? request_ttft_ms(r) : 0.0);
     }
     r.generated = std::max<index_t>(r.generated, 1);
     s_.running.push_back(id);
@@ -494,6 +516,7 @@ void Ticker::decode_round() {
   }
   const auto batch = static_cast<index_t>(s_.running.size());
   const double avg_ctx = ctx_sum / static_cast<double>(batch);
+  const double t0 = s_.now;
   double t_step;
   if (spec.enabled()) {
     t_step = static_cast<double>(spec.depth) *
@@ -508,6 +531,19 @@ void Ticker::decode_round() {
   s_.batch_weighted += static_cast<double>(batch) * t_step;
   s_.decode_time_total += t_step;
   ++s_.decode_steps;
+  if (s_.obs != nullptr) {
+    if (spec.enabled()) {
+      s_.obs->on_spec_round(t0, s_.now, s_.replica_id, batch,
+                            spec.depth * batch);
+    } else {
+      s_.obs->on_decode_step(t0, s_.now, s_.replica_id, batch, avg_ctx);
+    }
+    double compute_s = 0, comm_s = 0, bubble = 0;
+    if (model_.decode_split(batch, avg_ctx, &compute_s, &comm_s, &bubble)) {
+      s_.obs->on_decode_split(s_.now, s_.replica_id, compute_s, comm_s,
+                              bubble);
+    }
+  }
 
   // Stable in-place compaction, as in prefill_round: a steady-state
   // decode tick must not allocate.
@@ -519,6 +555,7 @@ void Ticker::decode_round() {
       r.spec_credit =
           r.spec_credit + spec_expected_ - static_cast<double>(committed);
       s_.spec_committed_tokens += committed;
+      if (s_.obs != nullptr) s_.obs->on_spec_commit(committed);
     }
     r.generated += committed;
     add_service(r.tenant_id, committed);
@@ -527,9 +564,14 @@ void Ticker::decode_round() {
       if (cfg_.slo.tpot_deadline_ms > 0 &&
           request_tpot_ms(r) > cfg_.slo.tpot_deadline_ms) {
         ++s_.slo_tpot_violations;
+        if (s_.obs != nullptr) s_.obs->on_slo_tpot_violation(s_.now, r.id);
       }
       r.set_state(RequestState::kFinished);
       s_.bm.free(r.blocks, r.tenant_id);
+      if (s_.obs != nullptr) {
+        s_.obs->on_finished(s_.now, r.id, r.tenant_id, r.generated,
+                            request_ttft_ms(r), request_tpot_ms(r));
+      }
     } else {
       s_.running[keep++] = id;
     }

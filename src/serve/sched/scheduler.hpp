@@ -61,6 +61,10 @@
 #include "serve/sched/workload.hpp"
 #include "util/sim_context.hpp"
 
+namespace marlin::obs {
+class ServeRecorder;
+}  // namespace marlin::obs
+
 namespace marlin::serve {
 
 /// Aggregate latency metrics of one serving simulation. Field set and
@@ -199,6 +203,15 @@ struct ReplicaState {
   };
   /// Scratch reused across `Scheduler::admit` / `Scheduler::step` ticks.
   TickScratch scratch;
+
+  /// This replica's id in the cluster fleet (stamped by
+  /// `cluster::Replica`); annotates observability events.
+  index_t replica_id = 0;
+  /// Borrowed observability recorder. Null — the default, and the only
+  /// golden configuration — is the recording-off fast path: every
+  /// instrumentation site reduces to one pointer test, so the
+  /// allocation-free steady-state decode tick is preserved.
+  obs::ServeRecorder* obs = nullptr;
 
   // Counters the EventLoop sums into SchedStats.
   index_t preemptions = 0;

@@ -78,7 +78,7 @@ cluster::ClusterStats simulate_cluster_detailed(const Engine& engine,
 
   const sched::Scheduler scheduler(model, sc, draft ? &*draft : nullptr);
   return cluster::EventLoop(scheduler, cfg.cluster)
-      .run(sched::generate_trace(w), ctx);
+      .run(sched::generate_trace(w), ctx, cfg.recorder);
 }
 
 sched::SchedStats simulate_serving_detailed(const Engine& engine,

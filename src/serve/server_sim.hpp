@@ -69,6 +69,12 @@ struct ServingConfig {
   /// goldens byte-for-byte (each replica carves its own `kv_blocks`
   /// budget; the step-model memo is shared).
   cluster::ClusterOptions cluster{};
+
+  /// Observability recorder (borrowed, may be null — the default). When
+  /// set, the run emits request-lifecycle spans, scheduler/cluster events
+  /// and metrics into it; the scheduling decisions themselves are
+  /// identical with or without a recorder attached.
+  obs::ServeRecorder* recorder = nullptr;
 };
 
 /// Full cluster statistics: the fleet-summed SchedStats plus per-replica
