@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
     sc.qps = pt.qps;
     sc.duration_s = 120.0;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = cli.policy;
     const auto m = serve::simulate_serving(*engines[pt.engine], sc);
     return Cell{m.mean_tpot_ms, m.mean_batch};
@@ -112,6 +113,7 @@ int main(int argc, char** argv) {
     sc.qps = qps_values.back();
     sc.duration_s = 120.0;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = cli.policy;
     bench::maybe_write_observation(cli, *engines[1], sc);
   }

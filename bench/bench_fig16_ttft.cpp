@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
     sc.qps = pt.qps;
     sc.duration_s = 120.0;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = cli.policy;
     return serve::simulate_serving(*engines[pt.engine], sc).mean_ttft_ms;
   });
@@ -93,6 +94,7 @@ int main(int argc, char** argv) {
     sc.qps = qps_values.back();
     sc.duration_s = 120.0;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = cli.policy;
     bench::maybe_write_observation(cli, *engines[1], sc);
   }

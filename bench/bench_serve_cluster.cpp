@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = cli.policy;
     sc.tenants = tenants;
     sc.kv_blocks = 192;  // per replica: tight enough to queue at 24 QPS

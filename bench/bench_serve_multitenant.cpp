@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = policies[pt.policy];
     sc.kv_blocks = kv_blocks;
     sc.tenants = mixes[pt.mix].tenants;
@@ -191,6 +192,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = sched::SchedPolicy::kWeightedFair;
     sc.kv_blocks = kv_blocks;
     sc.tenants = mixes[0].tenants;

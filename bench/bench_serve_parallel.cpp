@@ -121,6 +121,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.shape = shapes[pt.shape];
     sc.policy = policies[pt.policy];
     sc.kv_blocks = -1;  // HBM-derived per-rank budget (min rank binds)
@@ -167,6 +168,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.policy = cli.policy;
     sc.kv_blocks = -1;
     sc.kv_block_size = block_size;

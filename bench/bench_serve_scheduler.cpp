@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.shape = shapes[pt.shape];
     sc.policy = policies[pt.policy];
     sc.kv_blocks = budgets[pt.budget].blocks;
@@ -133,6 +134,7 @@ int main(int argc, char** argv) {
     sc.qps = cli.qps;
     sc.duration_s = cli.duration_s;
     sc.seed = cli.seed;
+    cli.apply_prefix_cache(sc);
     sc.shape = sched::WorkloadShape::kBursty;
     sc.policy = cli.policy;
     sc.kv_blocks = 128;

@@ -88,6 +88,13 @@ inline std::vector<FlagHelp> serving_flag_help() {
   return {{"--seed S", "workload-trace seed (default 42; goldens use 42)"},
           {"--policy P",
            "scheduler admission policy: fcfs | sjf | max-util | wfq"},
+          {"--prefix-cache",
+           "enable the hashed prefix cache (reuses cached shared-prefix KV "
+           "blocks at admission; default off, the goldens configuration)"},
+          {"--prefix-cache-blocks N",
+           "cap on evicted-but-cached blocks kept for reuse (0 = every "
+           "free block may stay cached; only meaningful with "
+           "--prefix-cache)"},
           {"--trace-out FILE",
            "write a Chrome/Perfetto trace of one recorded serial re-run of "
            "a representative config (stderr announce; golden stdout "
@@ -116,10 +123,20 @@ struct ServeCliOptions {
       serve::sched::WorkloadShape::kPoisson;
   double qps = 0;
   double duration_s = 0;
+  /// `--prefix-cache` / `--prefix-cache-blocks`: hashed prefix cache over
+  /// full prompt blocks (off by default, the goldens configuration).
+  bool prefix_cache = false;
+  index_t prefix_cache_blocks = 0;
   /// `--trace-out` / `--metrics-out` destinations (empty = off, the
   /// default — the sweep itself always runs recorder-free).
   std::string trace_out;
   std::string metrics_out;
+
+  /// Copies the prefix-cache flags onto a ServingConfig.
+  void apply_prefix_cache(serve::ServingConfig& cfg) const {
+    cfg.prefix_cache.enabled = prefix_cache;
+    cfg.prefix_cache.max_cached_blocks = prefix_cache_blocks;
+  }
 };
 
 inline ServeCliOptions parse_serve_cli(const CliArgs& args,
@@ -132,6 +149,9 @@ inline ServeCliOptions parse_serve_cli(const CliArgs& args,
       serve::sched::workload_by_name(args.get_string("workload", "poisson"));
   o.qps = args.get_double("qps", default_qps);
   o.duration_s = args.get_double("duration", default_duration_s);
+  o.prefix_cache = args.get_bool("prefix-cache", false);
+  o.prefix_cache_blocks =
+      static_cast<index_t>(args.get_int("prefix-cache-blocks", 0));
   o.trace_out = args.get_string("trace-out", "");
   o.metrics_out = args.get_string("metrics-out", "");
   return o;
@@ -300,6 +320,13 @@ class BenchJsonReporter {
   /// work-size field).
   void set_points(std::size_t n) { points_ = n; }
 
+  /// Appends an extra numeric field to the record (e.g. the prefix
+  /// bench's cache_hit_rate / blocks_saved). Deterministic simulation
+  /// outputs only — wall time stays the one non-reproducible field.
+  void set_extra(const std::string& key, double value, int decimals = 4) {
+    extras_ += ", \"" + key + "\": " + format_double(value, decimals);
+  }
+
   ~BenchJsonReporter() {
     if (path_.empty()) return;
     const double wall_s = std::chrono::duration<double>(
@@ -309,13 +336,14 @@ class BenchJsonReporter {
     rec << "  {\"bench\": \"" << bench_ << "\", \"wall_s\": "
         << format_double(wall_s, 3) << ", \"points\": " << points_
         << ", \"threads\": " << threads_ << ", \"simd\": \""
-        << simd::to_string(simd::active_level()) << "\"}";
+        << simd::to_string(simd::active_level()) << "\"" << extras_ << "}";
     append_bench_json_record(path_, rec.str());
   }
 
  private:
   std::string path_;
   std::string bench_;
+  std::string extras_;
   std::size_t points_ = 0;
   unsigned threads_;
   std::chrono::steady_clock::time_point start_;

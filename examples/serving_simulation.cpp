@@ -46,6 +46,16 @@ int main(int argc, char** argv) {
        {"--kv-block-size N", "tokens per KV block (default 16)"},
        {"--prefill-chunk N", "per-sequence prefill chunk tokens (0 = whole "
                              "prompt)"},
+       {"--prefix-cache", "enable the hashed prefix cache"},
+       {"--prefix-cache-blocks N",
+        "cap on evicted-but-cached blocks kept for reuse (0 = no cap)"},
+       {"--shared-prefix-tokens N",
+        "shared system-prompt length prepended to tagged prompts (0 = "
+        "off)"},
+       {"--shared-prefix-groups N", "distinct shared headers (default 1)"},
+       {"--shared-prefix-share F",
+        "fraction of requests carrying a shared header (default 1.0)"},
+       {"--sampling-n N", "parallel-sampling width per request (default 1)"},
        {"--tp N", "tensor-parallel degree (default 1)"},
        {"--pp N", "pipeline-parallel degree (default 1)"},
        {"--microbatches N", "pipeline microbatches (0 = one per stage)"},
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
   scfg.input_tokens = args.get_int("input-tokens", 64);
   scfg.output_tokens = args.get_int("output-tokens", 64);
   scfg.seed = cli.seed;
+  cli.apply_prefix_cache(scfg);
   scfg.shape = cli.workload;
   scfg.policy = cli.policy;
   // --kv-blocks: -1 derives the budget from the device HBM next to the
@@ -88,6 +99,10 @@ int main(int argc, char** argv) {
   scfg.kv_blocks = args.get_int("kv-blocks", 0);
   scfg.kv_block_size = args.get_int("kv-block-size", 16);
   scfg.prefill_chunk_tokens = args.get_int("prefill-chunk", 0);
+  scfg.shared_prefix_tokens = args.get_int("shared-prefix-tokens", 0);
+  scfg.shared_prefix_groups = args.get_int("shared-prefix-groups", 1);
+  scfg.shared_prefix_share = args.get_double("shared-prefix-share", 1.0);
+  scfg.sampling_n = args.get_int("sampling-n", 1);
   scfg.parallel.tensor_parallel = static_cast<int>(args.get_int("tp", 1));
   scfg.parallel.pipeline_parallel = static_cast<int>(args.get_int("pp", 1));
   scfg.parallel.microbatches =

@@ -14,7 +14,11 @@ must exist, parse as a JSON array, and every record must carry
 
 Extra keys (e.g. ``simd``, the active dispatch level recorded since
 PR 7) are tolerated so newer records can carry more context without
-invalidating older BENCH_*.json files.
+invalidating older BENCH_*.json files. Known optional keys are still
+shape-checked when present:
+
+    cache_hit_rate   number in [0, 1] (prefix-cache benches)
+    blocks_saved     non-negative number (prefix-cache benches)
 
 Wall-times are machine-dependent by design and are NOT compared — only
 shape is validated, so the check is deterministic across hosts.
@@ -47,6 +51,18 @@ def check_record(path: str, i: int, rec: object, failures: list) -> str:
         val = rec.get(key)
         if not isinstance(val, int) or isinstance(val, bool) or val <= 0:
             failures.append(f"{where}: `{key}` must be a positive integer")
+    # Optional keys are validated only when present.
+    hit_rate = rec.get("cache_hit_rate")
+    if hit_rate is not None and (
+            not isinstance(hit_rate, (int, float)) or isinstance(hit_rate, bool)
+            or not math.isfinite(hit_rate) or not 0.0 <= hit_rate <= 1.0):
+        failures.append(f"{where}: `cache_hit_rate` must be in [0, 1]")
+    saved = rec.get("blocks_saved")
+    if saved is not None and (
+            not isinstance(saved, (int, float)) or isinstance(saved, bool)
+            or not math.isfinite(saved) or saved < 0):
+        failures.append(f"{where}: `blocks_saved` must be a non-negative "
+                        "number")
     return bench
 
 

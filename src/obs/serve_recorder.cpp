@@ -51,6 +51,15 @@ ServeRecorder::ServeRecorder(TraceRecorder* trace, MetricsRegistry* metrics)
                                     "Draft tokens proposed");
     spec_committed_tokens_ = &m.counter("marlin_spec_committed_tokens_total",
                                         "Tokens committed by verification");
+    prefix_cache_hits_ = &m.counter("marlin_prefix_cache_hits_total",
+                                    "Admissions that reused cached prefix "
+                                    "blocks");
+    prefix_cache_hit_blocks_ =
+        &m.counter("marlin_prefix_cache_hit_blocks_total",
+                   "KV blocks reused from the prefix cache");
+    prefix_tokens_skipped_ =
+        &m.counter("marlin_prefix_tokens_skipped_total",
+                   "Prefill tokens skipped thanks to cached prefixes");
     slo_ttft_violations_ = &m.counter("marlin_slo_ttft_violations_total",
                                       "Completed requests past the TTFT "
                                       "deadline");
@@ -164,6 +173,25 @@ void ServeRecorder::on_admitted(double t_s, index_t request, index_t replica,
     trace_->begin(kRequestsPid, tid, "prefill", "request", t_s,
                   {{"replica", static_cast<std::int64_t>(replica)},
                    {"kv_blocks", static_cast<std::int64_t>(kv_blocks)}});
+  }
+}
+
+void ServeRecorder::on_prefix_cache_hit(double t_s, index_t request,
+                                        index_t replica, index_t blocks,
+                                        index_t tokens) {
+  if (trace_ != nullptr) {
+    trace_->instant(kRequestsPid, static_cast<std::int64_t>(request),
+                    "prefix-cache-hit", "request", t_s,
+                    {{"replica", static_cast<std::int64_t>(replica)},
+                     {"blocks", static_cast<std::int64_t>(blocks)},
+                     {"tokens", static_cast<std::int64_t>(tokens)}});
+  }
+  if (prefix_cache_hits_ != nullptr) prefix_cache_hits_->inc();
+  if (prefix_cache_hit_blocks_ != nullptr) {
+    prefix_cache_hit_blocks_->inc(static_cast<double>(blocks));
+  }
+  if (prefix_tokens_skipped_ != nullptr) {
+    prefix_tokens_skipped_->inc(static_cast<double>(tokens));
   }
 }
 
@@ -354,6 +382,32 @@ void ServeRecorder::on_run_end(double sim_end_s, index_t peak_kv_blocks,
   m.counter("marlin_kv_grow_failures_total",
             "Decode KV growths refused by the budget (preemption pressure)")
       .inc(static_cast<double>(kv_grow_failures));
+}
+
+void ServeRecorder::on_prefix_cache_run_end(index_t lookup_blocks,
+                                            index_t hit_blocks,
+                                            index_t evictions,
+                                            index_t cow_forks,
+                                            index_t cow_copies) {
+  if (metrics_ == nullptr) return;
+  MetricsRegistry& m = *metrics_;
+  m.counter("marlin_prefix_cache_lookup_blocks_total",
+            "Prompt blocks probed against the prefix cache")
+      .inc(static_cast<double>(lookup_blocks));
+  m.counter("marlin_prefix_cache_evictions_total",
+            "Cached-but-idle prefix blocks reclaimed under pressure")
+      .inc(static_cast<double>(evictions));
+  m.counter("marlin_cow_forks_total",
+            "Sequences forked to share a prompt copy-on-write")
+      .inc(static_cast<double>(cow_forks));
+  m.counter("marlin_cow_copies_total",
+            "Shared KV blocks copied on first divergent write")
+      .inc(static_cast<double>(cow_copies));
+  m.gauge("marlin_prefix_cache_hit_rate",
+          "Fraction of probed prompt blocks served from the prefix cache")
+      .set(lookup_blocks > 0 ? static_cast<double>(hit_blocks) /
+                                   static_cast<double>(lookup_blocks)
+                             : 0.0);
 }
 
 }  // namespace marlin::obs

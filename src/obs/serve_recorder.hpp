@@ -61,6 +61,10 @@ class ServeRecorder {
                          index_t replica);
   void on_admitted(double t_s, index_t request, index_t replica,
                    index_t kv_blocks);
+  /// Admission found `blocks` of the request's prompt already resident in
+  /// the replica's prefix cache, skipping `tokens` of prefill work.
+  void on_prefix_cache_hit(double t_s, index_t request, index_t replica,
+                           index_t blocks, index_t tokens);
   /// Prefill completed; `first_token` marks the first completion (a
   /// re-prefill after preemption recomputes, TTFT already decided).
   void on_prefill_done(double t_s, index_t request, bool first_token,
@@ -97,6 +101,11 @@ class ServeRecorder {
   void on_run_end(double sim_end_s, index_t peak_kv_blocks,
                   index_t peak_replicas, index_t kv_blocks_allocated,
                   index_t kv_blocks_freed, index_t kv_grow_failures);
+  /// Fleet-wide prefix-cache / copy-on-write totals (all zero when the
+  /// cache is off and every request samples n=1).
+  void on_prefix_cache_run_end(index_t lookup_blocks, index_t hit_blocks,
+                               index_t evictions, index_t cow_forks,
+                               index_t cow_copies);
 
  private:
   /// Ensures "replica r" process/thread rows are named (idempotent).
@@ -122,6 +131,9 @@ class ServeRecorder {
   Counter* spec_rounds_ = nullptr;
   Counter* spec_draft_tokens_ = nullptr;
   Counter* spec_committed_tokens_ = nullptr;
+  Counter* prefix_cache_hits_ = nullptr;
+  Counter* prefix_cache_hit_blocks_ = nullptr;
+  Counter* prefix_tokens_skipped_ = nullptr;
   Counter* slo_ttft_violations_ = nullptr;
   Counter* slo_tpot_violations_ = nullptr;
   Counter* replicas_started_ = nullptr;

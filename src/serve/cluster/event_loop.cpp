@@ -51,6 +51,10 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     requests.emplace_back(static_cast<index_t>(i), trace[i].arrival_s,
                           trace[i].input_tokens, trace[i].output_tokens,
                           trace[i].tenant_id);
+    requests.back().prefix_id = trace[i].prefix_id;
+    requests.back().prefix_tokens = trace[i].prefix_tokens;
+    requests.back().num_sequences = std::max<index_t>(
+        1, trace[i].num_sequences);
     max_context =
         std::max(max_context, trace[i].input_tokens + trace[i].output_tokens);
   }
@@ -224,6 +228,12 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     stats.sched.spec_committed_tokens += s.spec_committed_tokens;
     stats.sched.slo_ttft_violations += s.slo_ttft_violations;
     stats.sched.slo_tpot_violations += s.slo_tpot_violations;
+    stats.sched.prefix_cache_lookup_blocks += s.bm.prefix_cache_lookup_blocks();
+    stats.sched.prefix_cache_hit_blocks += s.bm.prefix_cache_hit_blocks();
+    stats.sched.prefix_cache_evictions += s.bm.prefix_cache_evictions();
+    stats.sched.prefix_tokens_skipped += s.prefix_tokens_skipped;
+    stats.sched.cow_forks += s.bm.cow_forks();
+    stats.sched.cow_copies += s.bm.cow_copies();
     stats.sched.peak_kv_blocks =
         std::max(stats.sched.peak_kv_blocks, s.bm.peak_used_blocks());
     stats.sched.sim_end_s = std::max(stats.sched.sim_end_s, s.now);
@@ -267,6 +277,11 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     }
     obs->on_run_end(stats.sched.sim_end_s, stats.sched.peak_kv_blocks,
                     stats.peak_replicas, allocated, freed, grow_failures);
+    obs->on_prefix_cache_run_end(stats.sched.prefix_cache_lookup_blocks,
+                                 stats.sched.prefix_cache_hit_blocks,
+                                 stats.sched.prefix_cache_evictions,
+                                 stats.sched.cow_forks,
+                                 stats.sched.cow_copies);
   }
   return stats;
 }

@@ -86,4 +86,13 @@ index_t Replica::outstanding_tokens(
   return total;
 }
 
+index_t Replica::cached_prefix_blocks(const sched::Request& r) const {
+  const sched::BlockManager& bm = state_.bm;
+  if (!bm.config().prefix_cache.enabled) return 0;
+  r.append_prefix_chain(bm.block_size(),
+                        bm.blocks_for_tokens(r.prefill_target()),
+                        probe_chain_);
+  return bm.cached_chain_blocks(probe_chain_);
+}
+
 }  // namespace marlin::serve::cluster

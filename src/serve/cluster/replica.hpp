@@ -76,6 +76,12 @@ class Replica {
   [[nodiscard]] index_t outstanding_tokens(
       const std::vector<sched::Request>& requests) const;
 
+  /// Leading blocks of `r`'s prompt already resident in this replica's
+  /// prefix cache — 0 when the cache is off or `r` has no shared-prefix
+  /// tag. Read-only probe (no refcounts move); the router's
+  /// prefix-affinity placement key.
+  [[nodiscard]] index_t cached_prefix_blocks(const sched::Request& r) const;
+
   /// Direct state access for the EventLoop's stats aggregation and for
   /// white-box tests.
   [[nodiscard]] const sched::ReplicaState& state() const { return state_; }
@@ -86,6 +92,9 @@ class Replica {
   sched::ReplicaState state_;
   ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kActive;
   index_t routed_ = 0;
+  /// Scratch for `cached_prefix_blocks` (probes run once per arrival;
+  /// retained capacity keeps the routing path allocation-free).
+  mutable std::vector<std::uint64_t> probe_chain_;
 };
 
 }  // namespace marlin::serve::cluster

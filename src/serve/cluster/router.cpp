@@ -29,15 +29,6 @@ Placement placement_by_name(const std::string& name) {
   return Placement::kRoundRobin;  // unreachable
 }
 
-std::uint64_t mix64(std::uint64_t x) {
-  // splitmix64 finalizer (Steele et al.) — fixed constants, identical on
-  // every platform.
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 std::size_t Router::pick(const sched::Request& r,
                          const std::deque<Replica>& fleet,
                          const std::vector<sched::Request>& requests) {
@@ -84,6 +75,16 @@ std::size_t Router::pick(const sched::Request& r,
                    to_string(placement_));
   }
   return chosen;
+}
+
+void Router::probe_cached_prefix(const sched::Request& r,
+                                 const std::deque<Replica>& fleet,
+                                 std::vector<index_t>& out) const {
+  out.resize(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    out[i] = fleet[i].routable() ? fleet[i].cached_prefix_blocks(r)
+                                 : index_t{-1};
+  }
 }
 
 }  // namespace marlin::serve::cluster

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "serve/cluster/replica.hpp"
+#include "util/hash.hpp"
 
 namespace marlin::serve::cluster {
 
@@ -32,8 +33,12 @@ const char* to_string(Placement p);
 Placement placement_by_name(const std::string& name);
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) — the session-affinity
-/// hash. Exposed for tests.
-[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+/// hash. The implementation moved to `util/hash.hpp` when the prefix
+/// cache started chaining it over KV blocks; this alias keeps the
+/// historical spelling (and its known-answer tests) stable.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  return util::mix64(x);
+}
 
 class Router {
  public:
@@ -49,6 +54,15 @@ class Router {
   [[nodiscard]] std::size_t pick(const sched::Request& r,
                                  const std::deque<Replica>& fleet,
                                  const std::vector<sched::Request>& requests);
+
+  /// Read-only prefix-cache probe over the fleet: resizes `out` to
+  /// `fleet.size()` and fills `out[i]` with the blocks of `r`'s prompt
+  /// replica `i` already holds cached, or -1 when replica `i` is not
+  /// routable. Groundwork for a prefix-affinity placement policy; no
+  /// refcounts move and no placement is made.
+  void probe_cached_prefix(const sched::Request& r,
+                           const std::deque<Replica>& fleet,
+                           std::vector<index_t>& out) const;
 
  private:
   Placement placement_;

@@ -8,18 +8,42 @@
 
 namespace marlin::serve::sched {
 
-BlockManager::BlockManager(BlockManagerConfig cfg) : cfg_(cfg) {
+namespace {
+std::size_t uz(index_t i) { return static_cast<std::size_t>(i); }
+}  // namespace
+
+void PrefixCacheConfig::validate() const {
+  MARLIN_CHECK(max_cached_blocks >= 0, "max cached blocks must be >= 0");
+  MARLIN_CHECK(min_prefix_blocks >= 1, "min prefix blocks must be >= 1");
+}
+
+BlockManager::BlockManager(BlockManagerConfig cfg) : cfg_(std::move(cfg)) {
   MARLIN_CHECK(cfg_.block_size >= 1, "block size must be >= 1 token");
   MARLIN_CHECK(cfg_.num_blocks >= 0, "negative block budget");
   MARLIN_CHECK(cfg_.watermark >= 0.0 && cfg_.watermark < 1.0,
                "watermark must be in [0, 1)");
+  cfg_.prefix_cache.validate();
   if (!unlimited()) {
     watermark_blocks_ = static_cast<index_t>(
         std::ceil(cfg_.watermark * static_cast<double>(cfg_.num_blocks)));
-    allocated_.assign(static_cast<std::size_t>(cfg_.num_blocks), false);
-    free_list_.reserve(static_cast<std::size_t>(cfg_.num_blocks));
+    free_list_.reserve(uz(cfg_.num_blocks));
     // Stack of ids; popping from the back hands out 0, 1, 2, ... first.
     for (index_t i = cfg_.num_blocks - 1; i >= 0; --i) free_list_.push_back(i);
+    const std::size_t n = uz(cfg_.num_blocks);
+    refcount_.assign(n, 0);
+    hash_.assign(n, 0);
+    hashed_.assign(n, 0);
+    published_.assign(n, 0);
+    parked_.assign(n, 0);
+    lru_prev_.assign(n, -1);
+    lru_next_.assign(n, -1);
+    holder_head_.assign(n, -1);
+    // Two nodes per block cover single ownership plus one shared
+    // reference without the pool ever reallocating on the steady-state
+    // decode path; deeper sharing grows it geometrically.
+    node_tenant_.reserve(2 * n);
+    node_next_.reserve(2 * n);
+    if (cache_on()) table_.reserve(n);
   }
   for (const auto& [tenant, quota] : cfg_.tenant_quotas) {
     MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
@@ -33,6 +57,8 @@ BlockManager::BlockManager(BlockManagerConfig cfg) : cfg_(cfg) {
 
 index_t BlockManager::free_blocks() const {
   if (unlimited()) return std::numeric_limits<index_t>::max() / 2;
+  // Parked (refcount-0 prefix-cached) blocks count as free: allocation
+  // evicts them on demand before ever failing.
   return cfg_.num_blocks - used_;
 }
 
@@ -49,57 +75,340 @@ bool BlockManager::can_allocate(index_t n) const {
   return unlimited() || n <= free_blocks();
 }
 
-std::vector<index_t> BlockManager::allocate(index_t n, index_t tenant) {
-  std::vector<index_t> ids;
-  ids.reserve(static_cast<std::size_t>(std::max<index_t>(n, 0)));
-  allocate_into(ids, n, tenant);
-  return ids;
+void BlockManager::ensure_id(index_t id) {
+  const std::size_t need = uz(id) + 1;
+  if (refcount_.size() >= need) return;
+  refcount_.resize(need, 0);
+  hash_.resize(need, 0);
+  hashed_.resize(need, 0);
+  published_.resize(need, 0);
+  parked_.resize(need, 0);
+  lru_prev_.resize(need, -1);
+  lru_next_.resize(need, -1);
+  holder_head_.resize(need, -1);
 }
 
-void BlockManager::allocate_into(std::vector<index_t>& out, index_t n,
-                                 index_t tenant) {
+index_t BlockManager::pop_free_block() {
+  // Free list first; under pressure reclaim the LRU's oldest parked
+  // block; only an unlimited cache mints fresh ids.
+  if (free_list_.empty() && cached_ > 0) evict_one();
+  if (!free_list_.empty()) {
+    const index_t id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  MARLIN_ASSERT(unlimited());
+  const index_t id = next_fresh_++;
+  ensure_id(id);
+  return id;
+}
+
+index_t& BlockManager::tenant_slot(index_t tenant) {
+  if (uz(tenant) >= tenant_used_.size()) {
+    tenant_used_.resize(uz(tenant) + 1, 0);
+  }
+  return tenant_used_[uz(tenant)];
+}
+
+index_t BlockManager::new_holder_node(index_t tenant) {
+  if (node_free_head_ >= 0) {
+    const index_t node = node_free_head_;
+    node_free_head_ = node_next_[uz(node)];
+    node_tenant_[uz(node)] = tenant;
+    return node;
+  }
+  const auto node = static_cast<index_t>(node_tenant_.size());
+  node_tenant_.push_back(tenant);
+  node_next_.push_back(-1);
+  return node;
+}
+
+void BlockManager::acquire_ref(index_t id, index_t tenant) {
+  if (refcount_[uz(id)] == 0) {
+    if (parked_[uz(id)] != 0) {  // resurrected from the prefix cache
+      lru_remove(id);
+      parked_[uz(id)] = 0;
+      --cached_;
+    }
+    ++used_;
+    peak_used_ = std::max(peak_used_, used_);
+  } else {
+    // Last toucher pays: the charge moves from the previous top holder.
+    tenant_slot(node_tenant_[uz(holder_head_[uz(id)])]) -= 1;
+  }
+  tenant_slot(tenant) += 1;
+  const index_t node = new_holder_node(tenant);
+  node_next_[uz(node)] = holder_head_[uz(id)];
+  holder_head_[uz(id)] = node;
+  ++refcount_[uz(id)];
+}
+
+void BlockManager::release_ref(index_t id, index_t tenant) {
+  MARLIN_CHECK(id >= 0 && id < static_cast<index_t>(refcount_.size()) &&
+                   refcount_[uz(id)] > 0,
+               "double-release or foreign KV block id " << id);
+  // Walk the stack from the most recent holder toward older ones and
+  // drop the first reference `tenant` holds.
+  index_t prev = -1;
+  index_t node = holder_head_[uz(id)];
+  while (node >= 0 && node_tenant_[uz(node)] != tenant) {
+    prev = node;
+    node = node_next_[uz(node)];
+  }
+  MARLIN_CHECK(node >= 0, "tenant " << tenant << " releases KV block " << id
+                                    << " it does not hold");
+  if (prev < 0) {
+    holder_head_[uz(id)] = node_next_[uz(node)];
+    tenant_slot(tenant) -= 1;
+    // The charge falls back to the previous holder (if any remain).
+    if (holder_head_[uz(id)] >= 0) {
+      tenant_slot(node_tenant_[uz(holder_head_[uz(id)])]) += 1;
+    }
+  } else {
+    // A non-top reference never carried the charge.
+    node_next_[uz(prev)] = node_next_[uz(node)];
+  }
+  node_next_[uz(node)] = node_free_head_;  // recycle
+  node_free_head_ = node;
+  if (--refcount_[uz(id)] == 0) {
+    --used_;
+    ++freed_total_;
+    if (cache_on() && published_[uz(id)] != 0) {
+      // Park instead of free: the content stays hittable until pressure
+      // reclaims it.
+      parked_[uz(id)] = 1;
+      lru_push_back(id);
+      ++cached_;
+      if (cfg_.prefix_cache.max_cached_blocks > 0 &&
+          cached_ > cfg_.prefix_cache.max_cached_blocks) {
+        evict_one();
+      }
+    } else {
+      scrub_to_free(id);
+    }
+  }
+}
+
+void BlockManager::scrub_to_free(index_t id) {
+  if (published_[uz(id)] != 0) {
+    table_.erase(hash_[uz(id)]);
+    published_[uz(id)] = 0;
+  }
+  hashed_[uz(id)] = 0;
+  free_list_.push_back(id);
+}
+
+void BlockManager::lru_push_back(index_t id) {
+  lru_prev_[uz(id)] = lru_tail_;
+  lru_next_[uz(id)] = -1;
+  if (lru_tail_ >= 0) {
+    lru_next_[uz(lru_tail_)] = id;
+  } else {
+    lru_head_ = id;
+  }
+  lru_tail_ = id;
+}
+
+void BlockManager::lru_remove(index_t id) {
+  const index_t prev = lru_prev_[uz(id)];
+  const index_t next = lru_next_[uz(id)];
+  if (prev >= 0) {
+    lru_next_[uz(prev)] = next;
+  } else {
+    lru_head_ = next;
+  }
+  if (next >= 0) {
+    lru_prev_[uz(next)] = prev;
+  } else {
+    lru_tail_ = prev;
+  }
+  lru_prev_[uz(id)] = -1;
+  lru_next_[uz(id)] = -1;
+}
+
+void BlockManager::evict_one() {
+  MARLIN_ASSERT(lru_head_ >= 0);
+  const index_t id = lru_head_;
+  lru_remove(id);
+  parked_[uz(id)] = 0;
+  --cached_;
+  ++prefix_evictions_total_;
+  scrub_to_free(id);
+}
+
+void BlockManager::acquire_ids(std::vector<index_t>& out, index_t n,
+                               index_t tenant) {
   MARLIN_CHECK(n >= 0, "negative allocation");
   MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
   MARLIN_CHECK(can_allocate(n), "KV budget exhausted: need "
                                     << n << " blocks, " << free_blocks()
                                     << " free of " << cfg_.num_blocks);
   for (index_t i = 0; i < n; ++i) {
-    index_t id;
-    if (!free_list_.empty()) {
-      id = free_list_.back();
-      free_list_.pop_back();
-    } else {
-      MARLIN_ASSERT(unlimited());
-      id = next_fresh_++;
-      allocated_.push_back(false);
-    }
-    MARLIN_ASSERT(!allocated_[static_cast<std::size_t>(id)]);
-    allocated_[static_cast<std::size_t>(id)] = true;
+    const index_t id = pop_free_block();
+    acquire_ref(id, tenant);
     out.push_back(id);
   }
-  used_ += n;
-  tenant_used_[tenant] += n;
   allocated_total_ += n;
-  peak_used_ = std::max(peak_used_, used_);
+}
+
+void BlockManager::release_ids(std::vector<index_t>& ids, index_t tenant) {
+  // Reverse order parks deeper chain positions closer to the LRU head, so
+  // pressure reclaims the least valuable (deepest) prefix blocks first.
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    release_ref(*it, tenant);
+  }
+  ids.clear();
+}
+
+void BlockManager::acquire(SequenceBlocks& seq, index_t n, index_t tenant) {
+  acquire_ids(seq.ids_, n, tenant);
+}
+
+index_t BlockManager::acquire_prefill(SequenceBlocks& seq, index_t n,
+                                      const std::vector<std::uint64_t>& chain,
+                                      index_t tenant) {
+  MARLIN_CHECK(n >= 0, "negative allocation");
+  MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
+  MARLIN_CHECK(static_cast<index_t>(chain.size()) <= n,
+               "prefix chain covers " << chain.size()
+                                      << " blocks but the allocation is "
+                                      << n);
+  // Pass 1 (read-only): the leading run of published matches, and how
+  // many of them are parked — resurrecting a parked block consumes free
+  // budget, referencing a live one does not.
+  index_t hits = 0;
+  index_t parked_hits = 0;
+  if (cache_on()) {
+    for (const std::uint64_t key : chain) {
+      const auto it = table_.find(key);
+      if (it == table_.end()) break;
+      ++hits;
+      if (parked_[uz(it->second)] != 0) ++parked_hits;
+    }
+    prefix_lookups_total_ += static_cast<index_t>(chain.size());
+    prefix_hits_total_ += hits;
+  }
+  const index_t fresh = n - hits;
+  MARLIN_CHECK(can_allocate(fresh + parked_hits),
+               "KV budget exhausted: need " << fresh + parked_hits
+                                            << " blocks, " << free_blocks()
+                                            << " free of " << cfg_.num_blocks);
+  // Pass 2: reference the cached run, then allocate the rest fresh; fresh
+  // blocks inside the chain get their hash attached so `publish` can make
+  // them hittable once their prefill completes.
+  for (index_t j = 0; j < hits; ++j) {
+    const index_t id = table_.find(chain[uz(j)])->second;
+    acquire_ref(id, tenant);
+    seq.ids_.push_back(id);
+  }
+  for (index_t j = hits; j < n; ++j) {
+    const index_t id = pop_free_block();
+    acquire_ref(id, tenant);
+    if (cache_on() && j < static_cast<index_t>(chain.size())) {
+      hashed_[uz(id)] = 1;
+      hash_[uz(id)] = chain[uz(j)];
+    }
+    seq.ids_.push_back(id);
+  }
+  allocated_total_ += fresh;
+  seq.cached_prefix_ = hits;
+  return hits;
+}
+
+void BlockManager::publish(const SequenceBlocks& seq) {
+  if (!cache_on()) return;
+  for (const index_t id : seq.ids_) {
+    if (hashed_[uz(id)] == 0 || published_[uz(id)] != 0) continue;
+    const auto [it, inserted] = table_.try_emplace(hash_[uz(id)], id);
+    if (inserted) {
+      published_[uz(id)] = 1;
+    } else {
+      // A concurrent identical prefill published this content first;
+      // this duplicate loses its hash and frees normally.
+      hashed_[uz(id)] = 0;
+    }
+  }
+}
+
+index_t BlockManager::cached_chain_blocks(
+    const std::vector<std::uint64_t>& chain) const {
+  index_t run = 0;
+  for (const std::uint64_t key : chain) {
+    if (!table_.contains(key)) break;
+    ++run;
+  }
+  return run;
+}
+
+void BlockManager::release(SequenceBlocks& seq, index_t tenant) {
+  release_ids(seq.ids_, tenant);
+  seq.cached_prefix_ = 0;
+}
+
+SequenceBlocks BlockManager::fork(const SequenceBlocks& parent, index_t tenant,
+                                  index_t reserve_blocks) {
+  MARLIN_CHECK(tenant >= 0, "tenant id must be >= 0");
+  SequenceBlocks child;
+  child.ids_.reserve(std::max(parent.ids_.size(), uz(reserve_blocks)));
+  for (const index_t id : parent.ids_) {
+    acquire_ref(id, tenant);
+    child.ids_.push_back(id);
+  }
+  child.cached_prefix_ = parent.cached_prefix_;
+  ++cow_forks_total_;
+  return child;
+}
+
+bool BlockManager::grow_to(SequenceBlocks& seq, index_t tokens,
+                           index_t covered_tokens, index_t tenant) {
+  const index_t have = seq.count();
+  const index_t need = blocks_for_tokens(tokens) - have;
+  // Copy-on-write scan: blocks the write range [covered_tokens, tokens)
+  // touches that are shared (refcount > 1) — or published, whose content
+  // must stay valid for future cache hits — get copied before the write.
+  const index_t first_write =
+      std::clamp<index_t>(covered_tokens / cfg_.block_size, 0, have);
+  index_t copies = 0;
+  for (index_t k = first_write; k < have; ++k) {
+    const index_t id = seq.ids_[uz(k)];
+    if (refcount_[uz(id)] > 1 || published_[uz(id)] != 0) ++copies;
+  }
+  const index_t fresh = std::max<index_t>(need, 0) + copies;
+  if (fresh <= 0) return true;
+  if (!can_allocate(fresh)) {
+    ++grow_failures_;
+    return false;
+  }
+  for (index_t k = first_write; k < have && copies > 0; ++k) {
+    const index_t old_id = seq.ids_[uz(k)];
+    if (refcount_[uz(old_id)] > 1 || published_[uz(old_id)] != 0) {
+      const index_t copy = pop_free_block();
+      acquire_ref(copy, tenant);
+      release_ref(old_id, tenant);
+      seq.ids_[uz(k)] = copy;
+      ++allocated_total_;
+      ++cow_copies_total_;
+      --copies;
+    }
+  }
+  if (need > 0) acquire_ids(seq.ids_, need, tenant);
+  return true;
+}
+
+std::vector<index_t> BlockManager::allocate(index_t n, index_t tenant) {
+  std::vector<index_t> ids;
+  ids.reserve(uz(std::max<index_t>(n, 0)));
+  acquire_ids(ids, n, tenant);
+  return ids;
+}
+
+void BlockManager::allocate_into(std::vector<index_t>& out, index_t n,
+                                 index_t tenant) {
+  acquire_ids(out, n, tenant);
 }
 
 void BlockManager::free(std::vector<index_t>& ids, index_t tenant) {
-  const auto n = static_cast<index_t>(ids.size());
-  MARLIN_CHECK(tenant_used_blocks(tenant) >= n,
-               "tenant " << tenant << " returns " << n << " blocks but holds "
-                         << tenant_used_blocks(tenant));
-  for (const index_t id : ids) {
-    MARLIN_CHECK(id >= 0 &&
-                     id < static_cast<index_t>(allocated_.size()) &&
-                     allocated_[static_cast<std::size_t>(id)],
-                 "double-free or foreign KV block id " << id);
-    allocated_[static_cast<std::size_t>(id)] = false;
-    free_list_.push_back(id);
-  }
-  used_ -= n;
-  tenant_used_[tenant] -= n;
-  freed_total_ += n;
-  ids.clear();
+  release_ids(ids, tenant);
 }
 
 bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens,
@@ -111,13 +420,13 @@ bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens,
     ++grow_failures_;
     return false;
   }
-  allocate_into(held, need, tenant);
+  acquire_ids(held, need, tenant);
   return true;
 }
 
 index_t BlockManager::tenant_used_blocks(index_t tenant) const {
-  const auto it = tenant_used_.find(tenant);
-  return it == tenant_used_.end() ? 0 : it->second;
+  if (tenant < 0 || uz(tenant) >= tenant_used_.size()) return 0;
+  return tenant_used_[uz(tenant)];
 }
 
 bool BlockManager::has_quota(index_t tenant) const {

@@ -1,6 +1,9 @@
 #include "serve/sched/request.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace marlin::serve::sched {
 
@@ -45,6 +48,36 @@ Request::Request(index_t id_, double arrival_s_, index_t prompt_tokens_,
   MARLIN_CHECK(prompt_tokens >= 1, "request needs at least one prompt token");
   MARLIN_CHECK(output_tokens >= 1, "request needs at least one output token");
   MARLIN_CHECK(tenant_id >= 0, "tenant id must be >= 0");
+}
+
+index_t Request::max_kv_blocks(index_t block_size) const {
+  const index_t per_seq = (max_kv_tokens() + block_size - 1) / block_size;
+  // Blocks fully inside the prompt stay shared across sequences; the
+  // partial tail block (if any) is CoW-copied per sequence on the first
+  // decode write, so it counts per sequence.
+  const index_t shared = std::min(prompt_tokens / block_size, per_seq);
+  return shared + num_sequences * (per_seq - shared);
+}
+
+index_t Request::hashable_prefix_blocks(index_t block_size) const {
+  if (prefix_id < 0) return 0;
+  return std::min(prefix_tokens, prompt_tokens) / block_size;
+}
+
+void Request::append_prefix_chain(index_t block_size, index_t max_blocks,
+                                  std::vector<std::uint64_t>& out) const {
+  out.clear();
+  const index_t blocks =
+      std::min(hashable_prefix_blocks(block_size), max_blocks);
+  if (blocks <= 0) return;
+  const std::uint64_t base =
+      util::mix64(kPrefixKeySalt ^ static_cast<std::uint64_t>(prefix_id));
+  std::uint64_t h = kPrefixHashSeed;
+  for (index_t j = 0; j < blocks; ++j) {
+    const std::uint64_t key = util::mix64(base + static_cast<std::uint64_t>(j));
+    h = util::mix64(h ^ key);
+    out.push_back(h);
+  }
 }
 
 void Request::set_state(RequestState next) {

@@ -10,13 +10,29 @@
 // Preemption is recompute-style (vLLM's default): the victim's KV blocks
 // are freed and, on re-admission, prefill covers the prompt *plus* every
 // token generated so far. TTFT is unaffected (the first token was already
-// emitted); TPOT absorbs the recompute cost.
+// emitted); TPOT absorbs the recompute cost. When the prefix cache is on,
+// a preempted request's published prompt blocks usually survive in the
+// cache, so the recompute prefill re-hits them instead of re-pricing the
+// whole prompt.
+//
+// Requests may carry a shared-prefix tag (`prefix_id`/`prefix_tokens`):
+// the first `prefix_tokens` prompt tokens are byte-identical across every
+// request with the same tag (a shared system prompt or few-shot header).
+// `append_prefix_chain` turns the tag into the chained per-block content
+// hashes the BlockManager's prefix cache is keyed by.
+//
+// `num_sequences` > 1 models parallel sampling (n>1): one prompt, n
+// decoded continuations. The prompt KV is shared via copy-on-write forks
+// (`Request::forks` holds the extra sequences' handles); every sequence
+// decodes in lockstep to the same output length.
 //
 // Every transition is validated — an illegal edge throws, so scheduler
 // bugs surface as errors instead of silently corrupted metrics.
 
+#include <cstdint>
 #include <vector>
 
+#include "serve/sched/sequence_blocks.hpp"
 #include "util/matrix.hpp"
 
 namespace marlin::serve::sched {
@@ -29,7 +45,14 @@ const char* to_string(RequestState s);
 /// Is `from -> to` a legal lifecycle edge?
 bool transition_allowed(RequestState from, RequestState to);
 
-/// One client request (single sequence — no beam / parallel sampling yet).
+/// Seed of every chained prefix hash (`h_-1`) — fractional digits of pi,
+/// pinned forever so cached-chain keys never drift across versions.
+inline constexpr std::uint64_t kPrefixHashSeed = 0x243F6A8885A308D3ull;
+/// Salt mixed with `prefix_id` to derive per-block content keys.
+inline constexpr std::uint64_t kPrefixKeySalt = 0x452821E638D01377ull;
+
+/// One client request: a prompt plus `num_sequences` sampled
+/// continuations (1 = classic single-sequence decoding).
 struct Request {
   Request(index_t id, double arrival_s, index_t prompt_tokens,
           index_t output_tokens, index_t tenant_id = 0);
@@ -40,14 +63,25 @@ struct Request {
   index_t output_tokens = 0;  // total output target incl. the prefill token
   /// Owning tenant (traffic class); 0 is the default single tenant.
   index_t tenant_id = 0;
+  /// Shared-prefix tag: requests with the same non-negative id share
+  /// their first `prefix_tokens` prompt tokens byte-for-byte. -1 = no
+  /// shared prefix (nothing to cache).
+  index_t prefix_id = -1;
+  /// Length of the shared prefix in tokens (<= prompt_tokens).
+  index_t prefix_tokens = 0;
+  /// Parallel-sampling width (n>1 shares the prompt KV via CoW forks).
+  index_t num_sequences = 1;
 
   RequestState state = RequestState::kQueued;
   /// Output tokens emitted so far (the prefill emits token 1).
   index_t generated = 0;
   /// Tokens prefilled in the current admission (chunked prefill cursor).
   index_t prefilled = 0;
-  /// KV-cache block ids currently held (owned by the BlockManager).
-  std::vector<index_t> blocks;
+  /// KV blocks of the primary sequence (ref-counted BlockManager handle).
+  SequenceBlocks blocks;
+  /// Extra sequences' handles (n>1 sampling), forked from `blocks` when
+  /// prefill completes; empty until then and for n=1.
+  std::vector<SequenceBlocks> forks;
 
   double first_token_s = -1;
   double finish_s = -1;
@@ -74,12 +108,26 @@ struct Request {
   [[nodiscard]] index_t prefill_target() const {
     return prompt_tokens + generated;
   }
-  /// Tokens of KV the request holds at completion — its peak footprint.
-  /// The final output token is emitted without growing the cache (its KV
-  /// is never written), hence the -1.
+  /// Tokens of KV one sequence holds at completion. The final output
+  /// token is emitted without growing the cache (its KV is never
+  /// written), hence the -1.
   [[nodiscard]] index_t max_kv_tokens() const {
     return prompt_tokens + output_tokens - 1;
   }
+  /// Peak *physical* blocks across all sequences: full prompt blocks are
+  /// shared once, everything past them is per-sequence (CoW divergence).
+  /// Equals ceil(max_kv_tokens / block_size) for n=1 — the admission
+  /// never-fits rule.
+  [[nodiscard]] index_t max_kv_blocks(index_t block_size) const;
+  /// Full prompt blocks inside the shared prefix — what the prefix cache
+  /// can key (0 without a prefix tag).
+  [[nodiscard]] index_t hashable_prefix_blocks(index_t block_size) const;
+  /// Rebuilds `out` with the chained content hashes of the first
+  /// min(hashable, max_blocks) prompt blocks: h_j = mix64(h_{j-1} ^
+  /// key_j) with key_j = mix64(mix64(kPrefixKeySalt ^ prefix_id) + j).
+  /// Deterministic and platform-pinned (util/hash.hpp).
+  void append_prefix_chain(index_t block_size, index_t max_blocks,
+                           std::vector<std::uint64_t>& out) const;
   [[nodiscard]] bool finished() const {
     return state == RequestState::kFinished;
   }

@@ -189,12 +189,21 @@ class Ticker {
 
   // A request that can never hold prompt + output tokens under the budget
   // (keeping the watermark free for its admission) would starve the queue
-  // forever; refuse it outright.
+  // forever; refuse it outright. `max_kv_blocks` counts full prompt
+  // blocks once across n>1 sampling sequences (CoW sharing).
   [[nodiscard]] bool never_fits(const Request& r) const {
     return !s_.bm.unlimited() &&
-           s_.bm.blocks_for_tokens(r.max_kv_tokens()) +
-                   s_.bm.watermark_blocks() >
+           r.max_kv_blocks(s_.bm.block_size()) + s_.bm.watermark_blocks() >
                s_.bm.total_blocks();
+  }
+
+  // Physical block references a request holds across all its sequences
+  // (shared blocks count once per referencing sequence — the reclaim
+  // planner treats this as an upper bound on what a preemption frees).
+  [[nodiscard]] static index_t held_blocks(const Request& r) {
+    index_t total = r.blocks.count();
+    for (const SequenceBlocks& f : r.forks) total += f.count();
+    return total;
   }
 
   // Deadline-aware admission: hopeless iff even an immediate solo
@@ -215,8 +224,12 @@ class Ticker {
     s_.running.erase(s_.running.begin() + static_cast<std::ptrdiff_t>(pos));
     Request& v = requests_[victim];
     v.set_state(RequestState::kPreempted);
-    const auto blocks_freed = static_cast<index_t>(v.blocks.size());
-    s_.bm.free(v.blocks, v.tenant_id);
+    const index_t blocks_freed = held_blocks(v);
+    // Releasing decrements refcounts; published prompt blocks park in the
+    // prefix cache, so the recompute prefill usually re-hits them.
+    s_.bm.release(v.blocks, v.tenant_id);
+    for (SequenceBlocks& f : v.forks) s_.bm.release(f, v.tenant_id);
+    v.forks.clear();
     v.prefilled = 0;
     ++v.preemptions;
     ++s_.preemptions;
@@ -306,8 +319,7 @@ class Ticker {
       if (best >= s_.running.size()) return;  // infeasible: preempt nobody
       planned[best] = true;
       plan.push_back(s_.running[best]);
-      const auto held =
-          static_cast<index_t>(requests_[s_.running[best]].blocks.size());
+      const auto held = held_blocks(requests_[s_.running[best]]);
       free += held;
       used[requests_[s_.running[best]].tenant_id] -= held;
     }
@@ -407,15 +419,31 @@ void Ticker::admit() {
     // never reallocates the block-id vector.
     r.blocks.reserve(
         static_cast<std::size_t>(s_.bm.blocks_for_tokens(r.max_kv_tokens())));
-    s_.bm.allocate_into(r.blocks, s_.bm.blocks_for_tokens(r.prefill_target()),
-                        r.tenant_id);
+    const index_t need = s_.bm.blocks_for_tokens(r.prefill_target());
+    index_t cached_tokens = 0;
+    const PrefixCacheConfig& pc = s_.bm.config().prefix_cache;
+    if (pc.enabled &&
+        r.hashable_prefix_blocks(s_.bm.block_size()) >= pc.min_prefix_blocks) {
+      r.append_prefix_chain(s_.bm.block_size(), need, scr.chain);
+      const index_t hits =
+          s_.bm.acquire_prefill(r.blocks, need, scr.chain, r.tenant_id);
+      // Chunked prefill starts past the cached run — those tokens' KV
+      // already exists, so their prefill compute is skipped outright.
+      cached_tokens = hits * s_.bm.block_size();
+      s_.prefix_tokens_skipped += cached_tokens;
+      if (hits > 0 && s_.obs != nullptr) {
+        s_.obs->on_prefix_cache_hit(s_.now, r.id, s_.replica_id, hits,
+                                    cached_tokens);
+      }
+    } else {
+      s_.bm.acquire(r.blocks, need, r.tenant_id);
+    }
     r.set_state(RequestState::kPrefilling);
-    r.prefilled = 0;
+    r.prefilled = cached_tokens;
     s_.prefilling.push_back(id);
     scr.taken[id] = 1;
     if (s_.obs != nullptr) {
-      s_.obs->on_admitted(s_.now, r.id, s_.replica_id,
-                          static_cast<index_t>(r.blocks.size()));
+      s_.obs->on_admitted(s_.now, r.id, s_.replica_id, r.blocks.count());
     }
   }
   std::erase_if(s_.queue,
@@ -464,6 +492,19 @@ void Ticker::prefill_round() {
       continue;
     }
     r.set_state(RequestState::kRunning);
+    // The prompt KV now exists: publish the hashed blocks into the prefix
+    // cache (no-op when the cache is off), then fork the extra sampling
+    // sequences — they share every prompt block until their first
+    // divergent write copy-on-writes the tail.
+    s_.bm.publish(r.blocks);
+    if (r.num_sequences > 1 && r.forks.empty()) {
+      const index_t per_seq =
+          s_.bm.blocks_for_tokens(r.max_kv_tokens());
+      r.forks.reserve(static_cast<std::size_t>(r.num_sequences - 1));
+      for (index_t k = 1; k < r.num_sequences; ++k) {
+        r.forks.push_back(s_.bm.fork(r.blocks, r.tenant_id, per_seq));
+      }
+    }
     const bool first_token = r.first_token_s < 0;
     if (first_token) {
       r.first_token_s = s_.now;  // prefill emits #1
@@ -491,16 +532,24 @@ void Ticker::decode_round() {
   // the policy's victim when the budget runs dry.
   for (std::size_t i = 0; i < s_.running.size();) {
     Request& r = requests_[s_.running[i]];
+    // KV the sequences have written so far: the last emitted token's KV
+    // lands during this step, hence the -1. Every sequence of an n>1
+    // request decodes in lockstep, so target and write range are shared;
+    // growth past a still-shared block copy-on-writes it first.
+    const index_t target =
+        r.prompt_tokens + r.generated + commit_tokens(r) - 1;
+    const index_t covered = r.prompt_tokens + r.generated - 1;
     bool preempted_self = false;
-    while (!s_.bm.grow_to(r.blocks,
-                          r.prompt_tokens + r.generated + commit_tokens(r) - 1,
-                          r.tenant_id)) {
-      MARLIN_ASSERT(!s_.running.empty());
-      const std::size_t victim = choose_victim_pos();
-      preempted_self = victim == i;
-      preempt_running_at(victim);
-      if (preempted_self) break;
-      if (victim < i) --i;  // `r` shifted one slot left; keep growing it
+    for (std::size_t h = 0; h <= r.forks.size() && !preempted_self; ++h) {
+      SequenceBlocks& seq = h == 0 ? r.blocks : r.forks[h - 1];
+      while (!s_.bm.grow_to(seq, target, covered, r.tenant_id)) {
+        MARLIN_ASSERT(!s_.running.empty());
+        const std::size_t victim = choose_victim_pos();
+        preempted_self = victim == i;
+        preempt_running_at(victim);
+        if (preempted_self) break;
+        if (victim < i) --i;  // `r` shifted one slot left; keep growing it
+      }
     }
     if (!preempted_self) ++i;
   }
@@ -510,11 +559,16 @@ void Ticker::decode_round() {
   // or a speculative round (draft proposes `depth` tokens sequentially,
   // the target verifies every candidate in one batched step).
   double ctx_sum = 0.0;
+  index_t batch = 0;
   for (const std::size_t id : s_.running) {
-    ctx_sum += static_cast<double>(requests_[id].prompt_tokens) +
-               static_cast<double>(requests_[id].generated);
+    const Request& q = requests_[id];
+    // Each of the n sampled sequences occupies a batch slot with the
+    // same context length (lockstep decoding).
+    batch += q.num_sequences;
+    ctx_sum += static_cast<double>(q.num_sequences) *
+               (static_cast<double>(q.prompt_tokens) +
+                static_cast<double>(q.generated));
   }
-  const auto batch = static_cast<index_t>(s_.running.size());
   const double avg_ctx = ctx_sum / static_cast<double>(batch);
   const double t0 = s_.now;
   double t_step;
@@ -554,11 +608,15 @@ void Ticker::decode_round() {
     if (spec.enabled()) {
       r.spec_credit =
           r.spec_credit + spec_expected_ - static_cast<double>(committed);
-      s_.spec_committed_tokens += committed;
-      if (s_.obs != nullptr) s_.obs->on_spec_commit(committed);
+      s_.spec_committed_tokens += committed * r.num_sequences;
+      if (s_.obs != nullptr) {
+        s_.obs->on_spec_commit(committed * r.num_sequences);
+      }
     }
     r.generated += committed;
-    add_service(r.tenant_id, committed);
+    // Every sampled sequence consumes a batch slot, so WFQ charges the
+    // tenant for all of them.
+    add_service(r.tenant_id, committed * r.num_sequences);
     if (r.generated >= r.output_tokens) {
       r.finish_s = s_.now;
       if (cfg_.slo.tpot_deadline_ms > 0 &&
@@ -567,7 +625,9 @@ void Ticker::decode_round() {
         if (s_.obs != nullptr) s_.obs->on_slo_tpot_violation(s_.now, r.id);
       }
       r.set_state(RequestState::kFinished);
-      s_.bm.free(r.blocks, r.tenant_id);
+      s_.bm.release(r.blocks, r.tenant_id);
+      for (SequenceBlocks& f : r.forks) s_.bm.release(f, r.tenant_id);
+      r.forks.clear();
       if (s_.obs != nullptr) {
         s_.obs->on_finished(s_.now, r.id, r.tenant_id, r.generated,
                             request_ttft_ms(r), request_tpot_ms(r));

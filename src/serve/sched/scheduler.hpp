@@ -200,6 +200,9 @@ struct ReplicaState {
     /// Per-request "left the queue this pass" flags; lazily sized to the
     /// request vector and re-cleared (via `order`) after every pass.
     std::vector<std::uint8_t> taken;
+    /// Chained prefix hashes of the request being admitted (prefix cache
+    /// lookups reuse this buffer's capacity).
+    std::vector<std::uint64_t> chain;
   };
   /// Scratch reused across `Scheduler::admit` / `Scheduler::step` ticks.
   TickScratch scratch;
@@ -224,6 +227,9 @@ struct ReplicaState {
   index_t spec_committed_tokens = 0;
   index_t slo_ttft_violations = 0;
   index_t slo_tpot_violations = 0;
+  /// Prompt tokens whose prefill was skipped because their KV came out of
+  /// the prefix cache (block-level counters live on `bm`).
+  index_t prefix_tokens_skipped = 0;
 
   /// Requests in flight or waiting — a busy replica must be ticked.
   [[nodiscard]] bool busy() const {
@@ -256,6 +262,16 @@ struct SchedStats {
   index_t spec_rounds = 0;
   index_t spec_draft_tokens = 0;
   index_t spec_committed_tokens = 0;
+  /// Prefix-cache / CoW-sharing counters, summed over replicas (all 0
+  /// with the cache off and n=1 sampling). Hit blocks are exactly the
+  /// physical allocations (and their recomputed prefill) saved; the
+  /// hit-rate is hits / lookups.
+  index_t prefix_cache_hit_blocks = 0;
+  index_t prefix_cache_lookup_blocks = 0;
+  index_t prefix_cache_evictions = 0;
+  index_t prefix_tokens_skipped = 0;
+  index_t cow_forks = 0;
+  index_t cow_copies = 0;
   std::vector<Request> requests;
 };
 

@@ -1,0 +1,51 @@
+#pragma once
+// Ref-counted KV block handle.
+//
+// `SequenceBlocks` is what a sequence holds instead of a naked
+// `std::vector<index_t>` of block ids: the ids are still there (read-only
+// for callers), but every mutation — acquiring blocks, growing, forking,
+// releasing — goes through the `BlockManager`, which keeps a per-block
+// refcount. Two sequences may therefore reference the same physical
+// block (a shared prompt prefix, or a copy-on-write fork of an n>1
+// sampling request); the block returns to the free list (or to the
+// prefix cache's LRU) only when the last reference is released.
+//
+// Copying the struct copies the id list but does NOT acquire references —
+// use `BlockManager::fork` for a real shared handle. The manager's
+// double-release guard turns an accidentally copied-and-released handle
+// into an error instead of silent corruption.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace marlin::serve::sched {
+
+class BlockManager;
+
+/// Handle to the KV blocks one sequence references (see header comment).
+class SequenceBlocks {
+ public:
+  /// Block ids in sequence order, for pricing and tests. Mutation is the
+  /// BlockManager's job.
+  [[nodiscard]] const std::vector<index_t>& ids() const { return ids_; }
+  /// Blocks referenced.
+  [[nodiscard]] index_t count() const {
+    return static_cast<index_t>(ids_.size());
+  }
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  /// Pre-sizes the id vector (reserve-to-lifetime keeps the steady-state
+  /// decode tick allocation-free).
+  void reserve(std::size_t blocks) { ids_.reserve(blocks); }
+  /// Leading blocks served from the prefix cache at the last admission
+  /// (refcount++ instead of a fresh allocation + recomputed prefill).
+  [[nodiscard]] index_t cached_prefix_blocks() const { return cached_prefix_; }
+
+ private:
+  friend class BlockManager;
+  std::vector<index_t> ids_;
+  index_t cached_prefix_ = 0;
+};
+
+}  // namespace marlin::serve::sched

@@ -127,6 +127,35 @@ void assign_tenants(const WorkloadConfig& cfg,
   }
 }
 
+/// Tags a `shared_prefix_share` fraction of requests with one of
+/// `shared_prefix_groups` shared system-prompt headers, prepending the
+/// header's tokens to the prompt. Own RNG stream, same contract as
+/// `assign_tenants`: the base trace never changes.
+void assign_prefixes(const WorkloadConfig& cfg,
+                     std::vector<TraceRequest>& trace) {
+  if (cfg.shared_prefix_tokens <= 0) return;
+  MARLIN_CHECK(cfg.shared_prefix_groups >= 1,
+               "shared-prefix mix needs at least one group");
+  MARLIN_CHECK(cfg.shared_prefix_share >= 0.0 &&
+                   cfg.shared_prefix_share <= 1.0,
+               "shared_prefix_share must be in [0, 1]");
+  constexpr std::uint64_t kPrefixStreamSalt = 0x3C79AC492BA7B653ull;
+  Rng rng(cfg.seed ^ kPrefixStreamSalt);
+  for (auto& r : trace) {
+    // Both draws happen for every request so one request's tag never
+    // shifts another's (insensitive to `share`).
+    const double u = rng.uniform();
+    const double g = rng.uniform();
+    if (u >= cfg.shared_prefix_share) continue;
+    r.prefix_id = std::min(
+        static_cast<index_t>(g *
+                             static_cast<double>(cfg.shared_prefix_groups)),
+        cfg.shared_prefix_groups - 1);
+    r.prefix_tokens = cfg.shared_prefix_tokens;
+    r.input_tokens += cfg.shared_prefix_tokens;
+  }
+}
+
 }  // namespace
 
 std::vector<TraceRequest> generate_trace(const WorkloadConfig& cfg) {
@@ -134,6 +163,9 @@ std::vector<TraceRequest> generate_trace(const WorkloadConfig& cfg) {
   MARLIN_CHECK(cfg.duration_s > 0, "duration must be positive");
   MARLIN_CHECK(cfg.input_tokens >= 1 && cfg.output_tokens >= 1,
                "token counts must be >= 1");
+  MARLIN_CHECK(cfg.shared_prefix_tokens >= 0,
+               "negative shared-prefix length");
+  MARLIN_CHECK(cfg.sampling_n >= 1, "sampling_n must be >= 1");
   Rng rng(cfg.seed);
   std::vector<TraceRequest> trace;
   switch (cfg.shape) {
@@ -148,6 +180,10 @@ std::vector<TraceRequest> generate_trace(const WorkloadConfig& cfg) {
       break;
   }
   assign_tenants(cfg, trace);
+  assign_prefixes(cfg, trace);
+  if (cfg.sampling_n > 1) {
+    for (auto& r : trace) r.num_sequences = cfg.sampling_n;
+  }
   return trace;
 }
 

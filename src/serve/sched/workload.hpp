@@ -35,6 +35,16 @@ struct TraceRequest {
   index_t output_tokens = 0;
   /// Owning tenant; 0 unless the workload configures a tenant mix.
   index_t tenant_id = 0;
+  /// Shared-prefix group: requests with the same non-negative id start
+  /// with the same `prefix_tokens` prompt tokens (system prompt /
+  /// few-shot header). -1 = fully unique prompt.
+  index_t prefix_id = -1;
+  /// Length of the shared prefix in tokens (counted inside
+  /// `input_tokens`); 0 when `prefix_id` is -1.
+  index_t prefix_tokens = 0;
+  /// Parallel-sampling width (n>1 decodes n continuations of one
+  /// prompt, sharing the prompt KV copy-on-write).
+  index_t num_sequences = 1;
 };
 
 struct WorkloadConfig {
@@ -63,6 +73,20 @@ struct WorkloadConfig {
   /// after the trace is generated — configuring a mix leaves the arrival
   /// times and token lengths of the base trace bit-identical.
   std::vector<double> tenant_shares;
+
+  /// Shared-prefix mix (system prompts): when `shared_prefix_tokens` > 0,
+  /// each request independently starts with one of
+  /// `shared_prefix_groups` shared headers with probability
+  /// `shared_prefix_share`, which *prepends* `shared_prefix_tokens`
+  /// tokens to its prompt. Like tenants, the assignment runs on its own
+  /// RNG stream after trace generation, so the base trace (arrivals,
+  /// unique-suffix lengths) is bit-identical with the mix on or off.
+  index_t shared_prefix_tokens = 0;
+  index_t shared_prefix_groups = 1;
+  double shared_prefix_share = 1.0;
+  /// Parallel-sampling width stamped on every request (n>1 sampling);
+  /// 1 = classic single-sequence decoding.
+  index_t sampling_n = 1;
 };
 
 /// Arrival-ordered trace for the configured shape; empty if the rate and

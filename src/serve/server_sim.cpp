@@ -18,6 +18,10 @@ cluster::ClusterStats simulate_cluster_detailed(const Engine& engine,
   w.input_tokens = cfg.input_tokens;
   w.output_tokens = cfg.output_tokens;
   w.seed = cfg.seed;
+  w.shared_prefix_tokens = cfg.shared_prefix_tokens;
+  w.shared_prefix_groups = cfg.shared_prefix_groups;
+  w.shared_prefix_share = cfg.shared_prefix_share;
+  w.sampling_n = cfg.sampling_n;
 
   // Tenant mix: `tenant_shares[i]` is tenant id i's share, so scatter the
   // specs' traffic shares by id (ids need not be dense).
@@ -60,6 +64,8 @@ cluster::ClusterStats simulate_cluster_detailed(const Engine& engine,
   sc.prefill_chunk_tokens = cfg.prefill_chunk_tokens;
   sc.blocks.block_size = cfg.kv_block_size;
   sc.blocks.num_blocks = kv_blocks;
+  cfg.prefix_cache.validate();
+  sc.blocks.prefix_cache = cfg.prefix_cache;
   sc.tenants = cfg.tenants;
   sc.speculation = cfg.speculation;
   sc.slo = cfg.slo;

@@ -36,6 +36,21 @@ struct ServingConfig {
   index_t kv_block_size = 16;
   /// Per-sequence prefill chunk tokens; 0 = whole prompt per step.
   index_t prefill_chunk_tokens = 0;
+  /// Hashed prefix cache over full prompt blocks (off by default, which
+  /// keeps every legacy golden bit-identical). When enabled, admissions
+  /// of requests with a shared-prefix tag reuse cached blocks instead of
+  /// re-prefilling them.
+  sched::PrefixCacheConfig prefix_cache;
+  /// Shared-prefix workload mix (see WorkloadConfig): when
+  /// `shared_prefix_tokens` > 0, a `shared_prefix_share` fraction of
+  /// requests prepend one of `shared_prefix_groups` shared headers of
+  /// that many tokens to their prompt, drawn on a side RNG stream.
+  index_t shared_prefix_tokens = 0;
+  index_t shared_prefix_groups = 1;
+  double shared_prefix_share = 1.0;
+  /// Parallel-sampling width stamped on every request (n>1 decodes n
+  /// continuations of one prompt, sharing the prompt KV copy-on-write).
+  index_t sampling_n = 1;
   /// Multi-GPU sharding. The default (TP=1, PP=1) runs the engine
   /// directly and reproduces the single-device goldens byte-for-byte;
   /// anything else prices steps through `parallel::ParallelEngine` (max

@@ -1,0 +1,24 @@
+#pragma once
+// Pinned deterministic 64-bit hashing.
+//
+// Every content hash in the simulator — the router's session-affinity
+// placement and the KV prefix cache's chained block keys — goes through
+// this one mixer. It is the splitmix64 finalizer (Steele et al.) with
+// fixed constants, so hashes are identical on every platform, compiler,
+// and standard library. Never use std::hash for anything that reaches a
+// golden file or a cross-run comparison: its values are
+// implementation-defined.
+
+#include <cstdint>
+
+namespace marlin::util {
+
+/// splitmix64 finalizer — the project's only hash mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace marlin::util

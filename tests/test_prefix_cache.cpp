@@ -1,0 +1,560 @@
+// Ref-counted KV block API, hashed prefix cache and copy-on-write
+// sharing: refcount/charging invariants, the pinned chain-hash values,
+// LRU parking/eviction order, first-publisher-wins races, the deprecated
+// raw-id shims, cache-off bit-equality end to end, and the zero-alloc
+// steady-state decode tick with the cache warm.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "serve/server_sim.hpp"
+#include "util/hash.hpp"
+
+// ------------------------------------------------------------------------
+// Counting global allocator (same pattern as test_simd_dispatch): every
+// replaceable operator new bumps one relaxed counter so tests can assert
+// that a code window performed zero heap allocations.
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+
+std::uint64_t alloc_count() {
+  return g_new_calls.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = std::max(sizeof(void*), static_cast<std::size_t>(al));
+  void* p = nullptr;
+  if (posix_memalign(&p, a, n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace marlin::serve::sched {
+namespace {
+
+BlockManagerConfig cache_cfg(index_t num_blocks, index_t max_cached = 0) {
+  BlockManagerConfig cfg;
+  cfg.block_size = 16;
+  cfg.num_blocks = num_blocks;
+  cfg.watermark = 0.0;
+  cfg.prefix_cache.enabled = true;
+  cfg.prefix_cache.max_cached_blocks = max_cached;
+  return cfg;
+}
+
+/// Chain hashes of a `blocks`-block prefix tagged `prefix_id`.
+std::vector<std::uint64_t> chain_of(index_t prefix_id, index_t blocks) {
+  Request r(0, 0.0, blocks * 16, 1);
+  r.prefix_id = prefix_id;
+  r.prefix_tokens = blocks * 16;
+  std::vector<std::uint64_t> chain;
+  r.append_prefix_chain(16, blocks, chain);
+  return chain;
+}
+
+// ------------------------------------------------------------ chain hash
+
+TEST(PrefixChain, PinnedHashValuesNeverDrift) {
+  // The cache key is pinned to util::mix64 (splitmix64 finalizer) with
+  // published seed/salt constants. These literals are the contract: if
+  // they change, every persisted cache key in the wild changes with them.
+  const auto chain = chain_of(0, 2);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0], 0x5cd35c8514c1f3f4ull);
+  EXPECT_EQ(chain[1], 0x467cc3f44e102525ull);
+
+  // Re-derive from the documented formula h_j = mix64(h_{j-1} ^ key_j).
+  const std::uint64_t base = util::mix64(kPrefixKeySalt ^ 0ull);
+  std::uint64_t h = kPrefixHashSeed;
+  for (std::size_t j = 0; j < chain.size(); ++j) {
+    h = util::mix64(h ^ util::mix64(base + j));
+    EXPECT_EQ(chain[j], h);
+  }
+}
+
+TEST(PrefixChain, DistinctTagsAndPositionsDiverge) {
+  const auto a = chain_of(0, 4);
+  const auto b = chain_of(1, 4);
+  for (std::size_t j = 0; j < a.size(); ++j) EXPECT_NE(a[j], b[j]);
+  // A shorter request's chain is a strict prefix of a longer one's.
+  const auto head = chain_of(0, 2);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), a.begin()));
+}
+
+TEST(PrefixChain, HashableBlocksAndTruncation) {
+  Request r(0, 0.0, 64, 8);
+  EXPECT_EQ(r.hashable_prefix_blocks(16), 0);  // no tag
+  r.prefix_id = 3;
+  r.prefix_tokens = 20;  // partial tail block cannot be shared
+  EXPECT_EQ(r.hashable_prefix_blocks(16), 1);
+  r.prefix_tokens = 64;
+  EXPECT_EQ(r.hashable_prefix_blocks(16), 4);
+  std::vector<std::uint64_t> chain;
+  r.append_prefix_chain(16, 2, chain);  // max_blocks truncates
+  EXPECT_EQ(chain.size(), 2u);
+}
+
+TEST(PrefixChain, MaxKvBlocksSharesPromptAcrossSequences) {
+  Request r(0, 0.0, 64, 16);
+  EXPECT_EQ(r.max_kv_blocks(16), 5);  // ceil(79 / 16), n = 1
+  r.num_sequences = 4;
+  EXPECT_EQ(r.max_kv_blocks(16), 8);  // 4 shared + 4 * (5 - 4)
+  Request p(1, 0.0, 60, 16);          // partial prompt block is per-seq
+  p.num_sequences = 2;
+  EXPECT_EQ(p.max_kv_blocks(16), 7);  // 3 shared + 2 * (5 - 3)
+}
+
+// --------------------------------------------------- refcounts / parking
+
+TEST(PrefixCache, MissPublishParkAndResurrect) {
+  BlockManager bm(cache_cfg(8));
+  const auto chain = chain_of(0, 4);
+
+  SequenceBlocks a;
+  EXPECT_EQ(bm.acquire_prefill(a, 4, chain), 0);  // cold: all misses
+  EXPECT_EQ(bm.prefix_cache_lookup_blocks(), 4);
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 0);  // unpublished: unhittable
+  bm.publish(a);
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 4);
+
+  bm.release(a);
+  EXPECT_EQ(bm.used_blocks(), 0);
+  EXPECT_EQ(bm.cached_blocks(), 4);  // parked, not freed
+  EXPECT_EQ(bm.free_blocks(), 8);    // parked blocks count as free budget
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 4);
+
+  SequenceBlocks b;
+  EXPECT_EQ(bm.acquire_prefill(b, 4, chain), 4);  // warm: resurrected
+  EXPECT_EQ(b.cached_prefix_blocks(), 4);
+  EXPECT_EQ(bm.prefix_cache_hit_blocks(), 4);
+  EXPECT_EQ(bm.cached_blocks(), 0);
+  EXPECT_EQ(bm.used_blocks(), 4);
+  bm.release(b);
+}
+
+TEST(PrefixCache, PressureEvictsDeepestChainPositionsFirst) {
+  BlockManager bm(cache_cfg(6));
+  const auto chain = chain_of(0, 4);
+  SequenceBlocks a;
+  bm.acquire_prefill(a, 4, chain);
+  bm.publish(a);
+  bm.release(a);  // 4 parked, 2 on the free list
+
+  // Allocating 3 drains the free list and must reclaim exactly one
+  // cached block — the deepest chain position, so the surviving prefix
+  // stays contiguous and hittable.
+  SequenceBlocks t;
+  bm.acquire(t, 3);
+  EXPECT_EQ(bm.prefix_cache_evictions(), 1);
+  EXPECT_EQ(bm.cached_blocks(), 3);
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 3);
+  bm.release(t);
+
+  SequenceBlocks b;
+  EXPECT_EQ(bm.acquire_prefill(b, 4, chain), 3);  // leading run still hits
+  EXPECT_EQ(b.cached_prefix_blocks(), 3);
+  bm.release(b);
+}
+
+TEST(PrefixCache, MaxCachedBlocksCapsTheLru) {
+  BlockManager bm(cache_cfg(8, /*max_cached=*/2));
+  const auto chain = chain_of(0, 4);
+  SequenceBlocks a;
+  bm.acquire_prefill(a, 4, chain);
+  bm.publish(a);
+  bm.release(a);
+  EXPECT_EQ(bm.cached_blocks(), 2);  // cap enforced at park time
+  EXPECT_EQ(bm.prefix_cache_evictions(), 2);
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 2);
+}
+
+TEST(PrefixCache, FirstPublisherWinsOnConcurrentDuplicates) {
+  BlockManager bm(cache_cfg(16));
+  const auto chain = chain_of(0, 3);
+  SequenceBlocks a, b;
+  // Both admitted before either prefill completes: both miss.
+  EXPECT_EQ(bm.acquire_prefill(a, 3, chain), 0);
+  EXPECT_EQ(bm.acquire_prefill(b, 3, chain), 0);
+  EXPECT_EQ(bm.used_blocks(), 6);
+  bm.publish(a);
+  bm.publish(b);  // loser: drops its hashes, no table overwrite
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 3);
+
+  bm.release(b);  // unpublished duplicate frees normally
+  EXPECT_EQ(bm.cached_blocks(), 0);
+  bm.release(a);  // winner parks
+  EXPECT_EQ(bm.cached_blocks(), 3);
+  SequenceBlocks c;
+  EXPECT_EQ(bm.acquire_prefill(c, 3, chain), 3);
+  bm.release(c);
+}
+
+TEST(PrefixCache, WorksInUnlimitedMode) {
+  BlockManager bm(cache_cfg(0));  // num_blocks = 0: unlimited budget
+  const auto chain = chain_of(5, 2);
+  SequenceBlocks a;
+  EXPECT_EQ(bm.acquire_prefill(a, 2, chain), 0);
+  bm.publish(a);
+  bm.release(a);
+  SequenceBlocks b;
+  EXPECT_EQ(bm.acquire_prefill(b, 2, chain), 2);
+  EXPECT_EQ(bm.used_blocks(), 2);
+  bm.release(b);
+  EXPECT_EQ(bm.used_blocks(), 0);
+}
+
+TEST(PrefixCache, ConfigValidation) {
+  PrefixCacheConfig pc;
+  pc.max_cached_blocks = -1;
+  EXPECT_THROW(pc.validate(), Error);
+  pc.max_cached_blocks = 0;
+  pc.min_prefix_blocks = 0;  // sub-block prefixes cannot be shared
+  EXPECT_THROW(pc.validate(), Error);
+}
+
+// ------------------------------------------------------------------- CoW
+
+TEST(CopyOnWrite, ForkSharesThenSplitsAtFirstDivergentToken) {
+  BlockManager bm(cache_cfg(8));
+  SequenceBlocks parent;
+  bm.acquire(parent, 4);  // 64 tokens of prompt KV
+  SequenceBlocks child = bm.fork(parent);
+  EXPECT_EQ(bm.cow_forks(), 1);
+  EXPECT_EQ(bm.used_blocks(), 4);  // refcount++, no physical allocation
+  EXPECT_EQ(child.ids(), parent.ids());
+
+  // The child writes tokens [48, 64): block 3 is shared, so it is copied;
+  // blocks 0..2 stay physically shared.
+  ASSERT_TRUE(bm.grow_to(child, 64, 48));
+  EXPECT_EQ(bm.cow_copies(), 1);
+  EXPECT_EQ(bm.used_blocks(), 5);
+  EXPECT_EQ(child.ids()[0], parent.ids()[0]);
+  EXPECT_EQ(child.ids()[2], parent.ids()[2]);
+  EXPECT_NE(child.ids()[3], parent.ids()[3]);
+
+  bm.release(parent);
+  EXPECT_EQ(bm.used_blocks(), 4);  // child still references blocks 0..2
+  bm.release(child);
+  EXPECT_EQ(bm.used_blocks(), 0);
+}
+
+TEST(CopyOnWrite, PublishedBlocksAreCopiedBeforeAWrite) {
+  // A published block is shared with the cache even at refcount 1: a
+  // write into it must copy, and the original parks for future hits.
+  BlockManager bm(cache_cfg(8));
+  const auto chain = chain_of(0, 2);
+  SequenceBlocks a;
+  bm.acquire_prefill(a, 2, chain);
+  bm.publish(a);
+  ASSERT_TRUE(bm.grow_to(a, 33, 20));  // writes [20, 33): copies block 1
+  EXPECT_EQ(bm.cow_copies(), 1);
+  EXPECT_EQ(bm.cached_blocks(), 1);  // displaced original parked
+  EXPECT_EQ(bm.cached_chain_blocks(chain), 2);
+  EXPECT_EQ(a.count(), 3);
+  bm.release(a);
+}
+
+TEST(CopyOnWrite, AppendOnlyGrowthNeverCopies) {
+  BlockManager bm(cache_cfg(8));
+  SequenceBlocks parent;
+  bm.acquire(parent, 2);
+  SequenceBlocks child = bm.fork(parent);
+  // covered == tokens' block boundary: pure append past the shared run.
+  ASSERT_TRUE(bm.grow_to(child, 48, 32));
+  EXPECT_EQ(bm.cow_copies(), 0);
+  EXPECT_EQ(child.count(), 3);
+  bm.release(parent);
+  bm.release(child);
+}
+
+TEST(CopyOnWrite, GrowFailureLeavesHoldingsUntouched) {
+  BlockManager bm(cache_cfg(4));
+  SequenceBlocks parent;
+  bm.acquire(parent, 3);
+  SequenceBlocks child = bm.fork(parent);
+  // Needs 1 append + 2 CoW copies = 3 blocks; only 1 is left.
+  EXPECT_FALSE(bm.grow_to(child, 64, 20));
+  EXPECT_EQ(bm.grow_failures(), 1);
+  EXPECT_EQ(child.count(), 3);
+  EXPECT_EQ(child.ids(), parent.ids());
+  EXPECT_EQ(bm.used_blocks(), 3);
+  bm.release(parent);
+  bm.release(child);
+}
+
+// ------------------------------------------------------- tenant charging
+
+TEST(TenantCharging, LastToucherPaysAndChargeFallsBack) {
+  BlockManager bm(cache_cfg(8));
+  const auto chain = chain_of(0, 2);
+
+  SequenceBlocks a;
+  bm.acquire_prefill(a, 2, chain, /*tenant=*/0);
+  bm.publish(a);
+  EXPECT_EQ(bm.tenant_used_blocks(0), 2);
+
+  // Tenant 1 re-acquires the shared blocks: the charge migrates to the
+  // most recent live holder ("last toucher pays").
+  SequenceBlocks b;
+  EXPECT_EQ(bm.acquire_prefill(b, 2, chain, /*tenant=*/1), 2);
+  EXPECT_EQ(bm.tenant_used_blocks(1), 2);
+  EXPECT_EQ(bm.tenant_used_blocks(0), 0);
+
+  // Releasing the top holder moves the charge back to the previous one.
+  bm.release(b, 1);
+  EXPECT_EQ(bm.tenant_used_blocks(1), 0);
+  EXPECT_EQ(bm.tenant_used_blocks(0), 2);
+  bm.release(a, 0);
+  EXPECT_EQ(bm.tenant_used_blocks(0), 0);
+  EXPECT_EQ(bm.cached_blocks(), 2);  // parked blocks charge nobody
+}
+
+TEST(TenantCharging, ReleasingBlocksTheTenantDoesNotHoldThrows) {
+  BlockManager bm(cache_cfg(4));
+  SequenceBlocks a;
+  bm.acquire(a, 2, /*tenant=*/0);
+  SequenceBlocks copy = a;  // copies ids, acquires no references
+  EXPECT_THROW(bm.release(copy, /*tenant=*/1), Error);
+  bm.release(a, 0);
+  EXPECT_THROW(bm.release(copy, 0), Error);  // double release, stale copy
+}
+
+// ------------------------------------------------------- deprecated shims
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedShims, RawIdApiStillWorksForOneRelease) {
+  BlockManager bm(cache_cfg(8));
+  std::vector<index_t> ids = bm.allocate(2);
+  bm.allocate_into(ids, 1);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(bm.used_blocks(), 3);
+  EXPECT_TRUE(bm.grow_to(ids, 4 * 16));  // append-only raw growth
+  EXPECT_EQ(ids.size(), 4u);
+  bm.free(ids);
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(bm.used_blocks(), 0);
+  // Shim traffic shares the refcount machinery with the handle API.
+  SequenceBlocks h;
+  bm.acquire(h, 1);
+  std::vector<index_t> more = bm.allocate(1);
+  EXPECT_EQ(bm.used_blocks(), 2);
+  bm.free(more);
+  bm.release(h);
+  EXPECT_EQ(bm.used_blocks(), 0);
+}
+#pragma GCC diagnostic pop
+
+// ------------------------------------------------------------ end to end
+
+serve::Engine test_engine() {
+  serve::EngineConfig ecfg;
+  ecfg.model = serve::llama2_7b();
+  ecfg.gpu = gpusim::rtxa6000();
+  ecfg.format = serve::WeightFormat::kMarlin;
+  return serve::Engine(ecfg);
+}
+
+serve::ServingConfig shared_prefix_config() {
+  serve::ServingConfig sc;
+  sc.qps = 8.0;
+  sc.duration_s = 10.0;
+  sc.input_tokens = 64;
+  sc.output_tokens = 16;
+  sc.kv_blocks = 256;
+  sc.shared_prefix_tokens = 128;
+  sc.shared_prefix_groups = 2;
+  sc.shared_prefix_share = 0.8;
+  return sc;
+}
+
+TEST(PrefixCacheEndToEnd, CacheOffIsBitIdenticalOnAnyWorkload) {
+  // With the cache disabled the manager must behave exactly like the
+  // legacy allocator — even when the workload carries shared prefixes.
+  const serve::Engine engine = test_engine();
+  serve::ServingConfig off = shared_prefix_config();
+  off.prefix_cache.enabled = false;
+  const auto a = serve::simulate_serving_detailed(engine, off);
+  const auto b = serve::simulate_serving_detailed(engine, off);
+  EXPECT_EQ(a.metrics.mean_tpot_ms, b.metrics.mean_tpot_ms);
+  EXPECT_EQ(a.prefix_cache_lookup_blocks, 0);
+  EXPECT_EQ(a.prefix_cache_hit_blocks, 0);
+  EXPECT_EQ(a.cow_forks, 0);
+}
+
+TEST(PrefixCacheEndToEnd, UniqueWorkloadIsUnchangedByTheCache) {
+  // No shared prefixes: enabling the cache must not change a single
+  // scheduling decision ("the cache never hurts").
+  const serve::Engine engine = test_engine();
+  serve::ServingConfig sc = shared_prefix_config();
+  sc.shared_prefix_tokens = 0;  // fully unique prompts
+  sc.prefix_cache.enabled = false;
+  const auto off = serve::simulate_serving_detailed(engine, sc);
+  sc.prefix_cache.enabled = true;
+  const auto on = serve::simulate_serving_detailed(engine, sc);
+
+  EXPECT_EQ(off.metrics.completed, on.metrics.completed);
+  EXPECT_EQ(off.metrics.mean_tpot_ms, on.metrics.mean_tpot_ms);
+  EXPECT_EQ(off.metrics.mean_ttft_ms, on.metrics.mean_ttft_ms);
+  EXPECT_EQ(off.preemptions, on.preemptions);
+  EXPECT_EQ(off.prefill_steps, on.prefill_steps);
+  EXPECT_EQ(off.decode_steps, on.decode_steps);
+  EXPECT_EQ(off.peak_kv_blocks, on.peak_kv_blocks);
+  EXPECT_EQ(off.sim_end_s, on.sim_end_s);
+  EXPECT_EQ(on.prefix_cache_hit_blocks, 0);  // nothing shareable
+}
+
+TEST(PrefixCacheEndToEnd, SharedPrefixesHitAndSkipPrefillTokens) {
+  const serve::Engine engine = test_engine();
+  serve::ServingConfig sc = shared_prefix_config();
+  sc.prefix_cache.enabled = true;
+  const auto st = serve::simulate_serving_detailed(engine, sc);
+  EXPECT_GT(st.prefix_cache_lookup_blocks, 0);
+  EXPECT_GT(st.prefix_cache_hit_blocks, 0);
+  EXPECT_GT(st.prefix_tokens_skipped, 0);
+  EXPECT_LE(st.prefix_cache_hit_blocks, st.prefix_cache_lookup_blocks);
+  // Skipped tokens are whole cached blocks' worth of prefill.
+  EXPECT_EQ(st.prefix_tokens_skipped,
+            st.prefix_cache_hit_blocks * sc.kv_block_size);
+
+  // Warm admissions reach their first token sooner than the cold run.
+  serve::ServingConfig off = sc;
+  off.prefix_cache.enabled = false;
+  const auto cold = serve::simulate_serving_detailed(engine, off);
+  EXPECT_LT(st.metrics.mean_ttft_ms, cold.metrics.mean_ttft_ms);
+  EXPECT_EQ(st.metrics.completed, cold.metrics.completed);
+}
+
+TEST(PrefixCacheEndToEnd, ParallelSamplingForksAndDiverges) {
+  const serve::Engine engine = test_engine();
+  serve::ServingConfig sc = shared_prefix_config();
+  sc.prefix_cache.enabled = true;
+  sc.sampling_n = 4;
+  // 60 + 128 prompt tokens: the partial tail block is shared at fork
+  // time and must CoW-split on each sequence's first divergent write.
+  sc.input_tokens = 60;
+  const auto st = serve::simulate_serving_detailed(engine, sc);
+  EXPECT_GT(st.cow_forks, 0);
+  EXPECT_GT(st.cow_copies, 0);
+  EXPECT_GT(st.metrics.completed, 0);
+  // Each request decodes n sequences in lockstep, so the engine sees a
+  // strictly larger decode batch than the n=1 run.
+  serve::ServingConfig single = sc;
+  single.sampling_n = 1;
+  const auto one = serve::simulate_serving_detailed(engine, single);
+  EXPECT_GT(st.metrics.mean_batch, one.metrics.mean_batch);
+}
+
+TEST(PrefixCacheEndToEnd, DeterministicAcrossThreadCounts) {
+  const serve::Engine engine = test_engine();
+  serve::ServingConfig sc = shared_prefix_config();
+  sc.prefix_cache.enabled = true;
+  sc.sampling_n = 2;
+  const SimContext& serial = SimContext::serial_context();
+  const SimContext pool(4);
+  const auto a = serve::simulate_serving_detailed(engine, sc, serial);
+  const auto b = serve::simulate_serving_detailed(engine, sc, pool);
+  EXPECT_EQ(a.metrics.mean_tpot_ms, b.metrics.mean_tpot_ms);
+  EXPECT_EQ(a.metrics.mean_ttft_ms, b.metrics.mean_ttft_ms);
+  EXPECT_EQ(a.prefix_cache_hit_blocks, b.prefix_cache_hit_blocks);
+  EXPECT_EQ(a.prefix_cache_evictions, b.prefix_cache_evictions);
+  EXPECT_EQ(a.cow_copies, b.cow_copies);
+}
+
+// ------------------------------------------------- allocation regression
+
+TEST(HotPath, WarmCacheSteadyStateDecodeTickDoesNotAllocate) {
+  // The zero-alloc steady-state guarantee must survive the cache being
+  // ON and WARM: ref-counted growth, LRU bookkeeping and last-toucher
+  // charging all run on pre-sized storage.
+  const serve::Engine engine = test_engine();
+
+  SchedulerConfig scfg;
+  scfg.policy = SchedPolicy::kFcfs;
+  scfg.max_batch = 8;
+  scfg.blocks.block_size = 16;
+  scfg.blocks.num_blocks = 256;
+  scfg.blocks.prefix_cache.enabled = true;
+  const Scheduler sched(engine, scfg);
+
+  std::vector<Request> requests;
+  for (index_t i = 0; i < 8; ++i) {
+    Request& r = requests.emplace_back(i, 0.0, 64, 32);
+    r.prefix_id = 0;  // all eight share one 32-token header
+    r.prefix_tokens = 32;
+  }
+  for (index_t batch = 1; batch <= scfg.max_batch; ++batch) {
+    for (index_t b = 0; b < 4; ++b) {
+      (void)engine.decode_step_seconds(batch,
+                                       static_cast<double>(b) * 64.0 + 1.0);
+    }
+  }
+
+  ReplicaState s = sched.make_replica_state();
+  sched.register_tenants(s, requests);
+
+  // Wave 1 admits cold and publishes at prefill completion; wave 2 then
+  // hits the warm cache, so the steady-state window below runs with live
+  // shared refcounts.
+  for (std::size_t i = 0; i < 4; ++i) s.queue.push_back(i);
+  while (s.decode_steps < 1) {
+    sched.admit(s, requests);
+    sched.step(s, requests);
+  }
+  for (std::size_t i = 4; i < 8; ++i) s.queue.push_back(i);
+  while (s.decode_steps < 3) {
+    sched.admit(s, requests);
+    sched.step(s, requests);
+  }
+  EXPECT_GT(s.bm.prefix_cache_hit_blocks(), 0);  // the cache engaged
+  ASSERT_EQ(s.running.size(), requests.size());
+
+  const std::uint64_t before = alloc_count();
+  for (int tick = 0; tick < 5; ++tick) {
+    sched.admit(s, requests);  // empty queue: must also be free of allocs
+    sched.step(s, requests);
+  }
+  const std::uint64_t allocs = alloc_count() - before;
+  EXPECT_EQ(allocs, 0u)
+      << allocs << " heap allocations across 5 warm-cache decode ticks";
+  EXPECT_EQ(s.running.size(), requests.size());  // still mid-decode
+
+  while (s.busy()) {
+    sched.admit(s, requests);
+    sched.step(s, requests);
+  }
+  EXPECT_EQ(s.bm.used_blocks(), 0);
+  EXPECT_GT(s.bm.cached_blocks(), 0);  // shared header parked for reuse
+}
+
+}  // namespace
+}  // namespace marlin::serve::sched

@@ -27,23 +27,24 @@ BlockManagerConfig quota_cfg(
 
 TEST(TenantQuota, SoftQuotaTracksPerTenantUsage) {
   BlockManager bm(quota_cfg(16, {{0, 4}, {1, 8}}));
-  auto a = bm.allocate(4, /*tenant=*/0);
+  SequenceBlocks a, b, c;
+  bm.acquire(a, 4, /*tenant=*/0);
   EXPECT_EQ(bm.tenant_used_blocks(0), 4);
   EXPECT_EQ(bm.over_quota_blocks(0), 0);
   EXPECT_TRUE(bm.within_quota(0, 0));
   EXPECT_FALSE(bm.within_quota(0, 1));
   // Soft: exceeding the quota is *allowed* while free blocks exist...
-  auto b = bm.allocate(3, /*tenant=*/0);
+  bm.acquire(b, 3, /*tenant=*/0);
   EXPECT_EQ(bm.tenant_used_blocks(0), 7);
   EXPECT_EQ(bm.over_quota_blocks(0), 3);  // ...but counts as borrowing.
   // An unquoted tenant never reads as over-quota.
-  auto c = bm.allocate(5, /*tenant=*/7);
+  bm.acquire(c, 5, /*tenant=*/7);
   EXPECT_FALSE(bm.has_quota(7));
   EXPECT_EQ(bm.effective_quota(7), kNoQuota);
   EXPECT_EQ(bm.over_quota_blocks(7), 0);
-  bm.free(a, 0);
-  bm.free(b, 0);
-  bm.free(c, 7);
+  bm.release(a, 0);
+  bm.release(b, 0);
+  bm.release(c, 7);
   EXPECT_EQ(bm.tenant_used_blocks(0), 0);
 }
 
@@ -56,9 +57,10 @@ TEST(TenantQuota, ZeroQuotaTenantIsBorrowOnly) {
   EXPECT_EQ(bm.effective_quota(3), 0);
   EXPECT_TRUE(bm.within_quota(3, 0));
   EXPECT_FALSE(bm.within_quota(3, 1));
-  auto held = bm.allocate(2, /*tenant=*/3);
+  SequenceBlocks held;
+  bm.acquire(held, 2, /*tenant=*/3);
   EXPECT_EQ(bm.over_quota_blocks(3), 2);
-  bm.free(held, 3);
+  bm.release(held, 3);
   EXPECT_EQ(bm.over_quota_blocks(3), 0);
 }
 
@@ -80,31 +82,34 @@ TEST(TenantQuota, BorrowThenReclaimRoundTrip) {
   // and the over-quota reading drops back to zero — the accounting the
   // scheduler's reclaim preemption relies on.
   BlockManager bm(quota_cfg(8, {{0, 3}, {1, 5}}));
-  auto within = bm.allocate(3, /*tenant=*/0);
-  auto borrowed = bm.allocate(3, /*tenant=*/0);
+  SequenceBlocks within, borrowed, t1;
+  bm.acquire(within, 3, /*tenant=*/0);
+  bm.acquire(borrowed, 3, /*tenant=*/0);
   EXPECT_EQ(bm.over_quota_blocks(0), 3);
   EXPECT_EQ(bm.free_blocks(), 2);
   // Tenant 1 cannot take its full quota right now — reclaim target exists.
   EXPECT_FALSE(bm.can_allocate(5));
-  bm.free(borrowed, 0);
+  bm.release(borrowed, 0);
   EXPECT_EQ(bm.over_quota_blocks(0), 0);
   EXPECT_EQ(bm.tenant_used_blocks(0), 3);
-  auto t1 = bm.allocate(5, /*tenant=*/1);
+  bm.acquire(t1, 5, /*tenant=*/1);
   EXPECT_EQ(bm.over_quota_blocks(1), 0);
   EXPECT_EQ(bm.free_blocks(), 0);
-  bm.free(within, 0);
-  bm.free(t1, 1);
+  bm.release(within, 0);
+  bm.release(t1, 1);
   EXPECT_EQ(bm.used_blocks(), 0);
 }
 
 TEST(TenantQuota, OverFreeAndDuplicateQuotasThrow) {
   BlockManager bm(quota_cfg(8, {{0, 4}}));
-  auto held = bm.allocate(2, /*tenant=*/0);
-  std::vector<index_t> wrong_tenant = held;
-  // Tenant 1 holds nothing; returning tenant 0's blocks on its account
-  // must throw before corrupting the per-tenant counters.
-  EXPECT_THROW(bm.free(wrong_tenant, 1), Error);
-  bm.free(held, 0);
+  SequenceBlocks held;
+  bm.acquire(held, 2, /*tenant=*/0);
+  // Copying a handle copies ids but acquires no references; releasing the
+  // copy on tenant 1's account (which holds nothing) must throw before
+  // corrupting the per-tenant counters.
+  SequenceBlocks wrong_tenant = held;
+  EXPECT_THROW(bm.release(wrong_tenant, 1), Error);
+  bm.release(held, 0);
   EXPECT_THROW(BlockManager(quota_cfg(8, {{0, 4}, {0, 2}})), Error);
   EXPECT_THROW(BlockManager(quota_cfg(8, {{0, -1}})), Error);
 }

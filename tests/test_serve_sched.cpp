@@ -45,33 +45,34 @@ BlockManagerConfig blocks_cfg(index_t num_blocks, double watermark = 0.0) {
   return cfg;
 }
 
-TEST(BlockManager, AllocateFreeAndCounts) {
+TEST(BlockManager, AcquireReleaseAndCounts) {
   BlockManager bm(blocks_cfg(8));
   EXPECT_EQ(bm.blocks_for_tokens(1), 1);
   EXPECT_EQ(bm.blocks_for_tokens(16), 1);
   EXPECT_EQ(bm.blocks_for_tokens(17), 2);
-  auto a = bm.allocate(3);
-  auto b = bm.allocate(5);
+  SequenceBlocks a, b;
+  bm.acquire(a, 3);
+  bm.acquire(b, 5);
   EXPECT_EQ(bm.used_blocks(), 8);
   EXPECT_EQ(bm.free_blocks(), 0);
   EXPECT_FALSE(bm.can_allocate(1));
-  EXPECT_THROW((void)bm.allocate(1), Error);
-  bm.free(a);
-  EXPECT_TRUE(a.empty());  // holdings cleared on free
+  SequenceBlocks c;
+  EXPECT_THROW(bm.acquire(c, 1), Error);
+  bm.release(a);
+  EXPECT_TRUE(a.empty());  // holdings cleared on release
   EXPECT_EQ(bm.free_blocks(), 3);
   EXPECT_EQ(bm.peak_used_blocks(), 8);
-  bm.free(b);
+  bm.release(b);
   EXPECT_EQ(bm.used_blocks(), 0);
 }
 
-TEST(BlockManager, DoubleFreeAndForeignIdsThrow) {
+TEST(BlockManager, DoubleReleaseAndForeignIdsThrow) {
   BlockManager bm(blocks_cfg(4));
-  auto ids = bm.allocate(2);
-  std::vector<index_t> stale = ids;
-  bm.free(ids);
-  EXPECT_THROW(bm.free(stale), Error);  // double-free
-  std::vector<index_t> foreign{99};
-  EXPECT_THROW(bm.free(foreign), Error);  // never allocated
+  SequenceBlocks ids;
+  bm.acquire(ids, 2);
+  SequenceBlocks stale = ids;  // copies ids, acquires no references
+  bm.release(ids);
+  EXPECT_THROW(bm.release(stale), Error);  // double-release
 }
 
 TEST(BlockManager, WatermarkGatesAdmissionButNotGrowth) {
@@ -80,25 +81,28 @@ TEST(BlockManager, WatermarkGatesAdmissionButNotGrowth) {
   EXPECT_EQ(bm.watermark_blocks(), 2);
   EXPECT_TRUE(bm.can_admit(8 * 16));    // 8 + 2 == 10
   EXPECT_FALSE(bm.can_admit(9 * 16));   // would dip into the reserve
-  auto held = bm.allocate(8);
+  SequenceBlocks held;
+  bm.acquire(held, 8);
   EXPECT_FALSE(bm.can_admit(1));        // 1 + 2 > 2 free
-  EXPECT_TRUE(bm.grow_to(held, 10 * 16));  // growth may use the reserve
+  // Growth may use the reserve (the whole 8 * 16 tokens are covered).
+  EXPECT_TRUE(bm.grow_to(held, 10 * 16, 8 * 16));
   EXPECT_EQ(bm.free_blocks(), 0);
-  EXPECT_FALSE(bm.grow_to(held, 11 * 16));
-  EXPECT_EQ(held.size(), 10u);  // failed growth leaves holdings untouched
-  bm.free(held);
+  EXPECT_FALSE(bm.grow_to(held, 11 * 16, 10 * 16));
+  EXPECT_EQ(held.count(), 10);  // failed growth leaves holdings untouched
+  bm.release(held);
 }
 
 TEST(BlockManager, UnlimitedModeTracksButNeverFails) {
   BlockManager bm(blocks_cfg(0));
   EXPECT_TRUE(bm.unlimited());
   EXPECT_TRUE(bm.can_admit(1 << 20));
-  auto a = bm.allocate(1000);
+  SequenceBlocks a, b;
+  bm.acquire(a, 1000);
   EXPECT_EQ(bm.used_blocks(), 1000);
-  bm.free(a);
-  auto b = bm.allocate(10);
+  bm.release(a);
+  bm.acquire(b, 10);
   EXPECT_EQ(bm.peak_used_blocks(), 1000);
-  bm.free(b);
+  bm.release(b);
 }
 
 TEST(BlockBudget, DerivedFromHbmWeightsAndFormat) {
