@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
        {"--tp N", "tensor-parallel degree (default 1)"},
        {"--pp N", "pipeline-parallel degree (default 1)"},
        {"--microbatches N", "pipeline microbatches (0 = one per stage)"},
+       {"--comm-buckets N", "all-reduce chunks overlapped with the next "
+                            "block's compute (default 1 = serialized)"},
        {"--tenants N", "split traffic over N equal-weight tenants (pair "
                        "with --policy wfq)"},
        {"--spec-depth D", "speculative draft tokens per round (0 = off)"},
@@ -67,6 +69,11 @@ int main(int argc, char** argv) {
        {"--replicas N", "engine replicas behind the router (default 1)"},
        {"--placement P", "replica placement: round-robin | least-loaded | "
                          "session-affinity"},
+       {"--prefill-replicas N",
+        "disaggregated pools: prefill-role replicas (pair with "
+        "--decode-replicas; overrides --replicas)"},
+       {"--decode-replicas N",
+        "disaggregated pools: decode-role replicas fed by KV migration"},
        {"--ttft-slo MS", "TTFT deadline ms (shed-on-hopeless; 0 = off)"},
        {"--tpot-slo MS", "TPOT deadline ms (violation accounting; 0 = off)"},
        {"--autoscale", "enable the trace-driven autoscaler"},
@@ -107,6 +114,8 @@ int main(int argc, char** argv) {
   scfg.parallel.pipeline_parallel = static_cast<int>(args.get_int("pp", 1));
   scfg.parallel.microbatches =
       static_cast<int>(args.get_int("microbatches", 0));
+  scfg.parallel.comm_buckets =
+      static_cast<int>(args.get_int("comm-buckets", 1));
   scfg.parallel.validate();
   // --tenants N: N equal-weight, equal-share tenants — enough to exercise
   // the multi-tenant machinery (see bench_serve_multitenant for tiered
@@ -134,6 +143,14 @@ int main(int argc, char** argv) {
   scfg.slo.tpot_deadline_ms = args.get_double("tpot-slo", 0.0);
   scfg.cluster.autoscaler.enabled = args.get_bool("autoscale", false);
   scfg.cluster.autoscaler.max_replicas = args.get_int("autoscale-max", 8);
+  // Disaggregated pools: --prefill-replicas/--decode-replicas size the
+  // fleet directly (KV pricing and the transfer link derive from the
+  // engine and device inside simulate_cluster_detailed).
+  if (args.has("prefill-replicas") || args.has("decode-replicas")) {
+    scfg.cluster.disagg.enabled = true;
+    scfg.cluster.disagg.prefill_replicas = args.get_int("prefill-replicas", 1);
+    scfg.cluster.disagg.decode_replicas = args.get_int("decode-replicas", 1);
+  }
 
   const int world = scfg.parallel.world_size();
   std::cout << ecfg.model.name << " on "
@@ -160,10 +177,16 @@ int main(int argc, char** argv) {
   }
   const bool clustered = scfg.cluster.replicas > 1 ||
                          scfg.cluster.autoscaler.enabled ||
-                         scfg.slo.enabled();
+                         scfg.cluster.disagg.enabled || scfg.slo.enabled();
   if (clustered) {
-    std::cout << ", " << scfg.cluster.replicas << " replicas ("
-              << serve::cluster::to_string(scfg.cluster.placement) << ")";
+    if (scfg.cluster.disagg.enabled) {
+      std::cout << ", pools " << scfg.cluster.disagg.prefill_replicas
+                << " prefill + " << scfg.cluster.disagg.decode_replicas
+                << " decode";
+    } else {
+      std::cout << ", " << scfg.cluster.replicas << " replicas ("
+                << serve::cluster::to_string(scfg.cluster.placement) << ")";
+    }
     if (scfg.cluster.autoscaler.enabled) {
       std::cout << ", autoscale<=" << scfg.cluster.autoscaler.max_replicas;
     }
@@ -196,6 +219,11 @@ int main(int argc, char** argv) {
                           << " scaled), shed " << st.shed
                           << ", TTFT viol " << st.slo_ttft_violations
                           << ", TPOT viol " << st.slo_tpot_violations;
+                       if (cs.migrations > 0) {
+                         cl << ", migrations " << cs.migrations << " ("
+                            << format_bytes(cs.transfer_bytes) << " in "
+                            << format_double(cs.transfer_seconds, 3) << " s)";
+                       }
                        cluster_rows[static_cast<std::size_t>(i)] = cl.str();
                      }
                      double weights_per_gpu = engine.weight_bytes_per_gpu();

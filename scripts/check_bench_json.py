@@ -19,6 +19,8 @@ shape-checked when present:
 
     cache_hit_rate   number in [0, 1] (prefix-cache benches)
     blocks_saved     non-negative number (prefix-cache benches)
+    transfer_s       non-negative number (disaggregated-serving benches)
+    migrations       non-negative number (disaggregated-serving benches)
 
 Wall-times are machine-dependent by design and are NOT compared — only
 shape is validated, so the check is deterministic across hosts.
@@ -57,12 +59,13 @@ def check_record(path: str, i: int, rec: object, failures: list) -> str:
             not isinstance(hit_rate, (int, float)) or isinstance(hit_rate, bool)
             or not math.isfinite(hit_rate) or not 0.0 <= hit_rate <= 1.0):
         failures.append(f"{where}: `cache_hit_rate` must be in [0, 1]")
-    saved = rec.get("blocks_saved")
-    if saved is not None and (
-            not isinstance(saved, (int, float)) or isinstance(saved, bool)
-            or not math.isfinite(saved) or saved < 0):
-        failures.append(f"{where}: `blocks_saved` must be a non-negative "
-                        "number")
+    for key in ("blocks_saved", "transfer_s", "migrations"):
+        val = rec.get(key)
+        if val is not None and (
+                not isinstance(val, (int, float)) or isinstance(val, bool)
+                or not math.isfinite(val) or val < 0):
+            failures.append(f"{where}: `{key}` must be a non-negative "
+                            "number")
     return bench
 
 

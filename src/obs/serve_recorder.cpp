@@ -66,6 +66,14 @@ ServeRecorder::ServeRecorder(TraceRecorder* trace, MetricsRegistry* metrics)
     slo_tpot_violations_ = &m.counter("marlin_slo_tpot_violations_total",
                                       "Completed requests past the TPOT "
                                       "deadline");
+    kv_transfers_ = &m.counter("marlin_kv_transfers_total",
+                               "Prefill -> decode KV handoffs (disaggregated "
+                               "pools)");
+    kv_transfer_bytes_ = &m.counter("marlin_kv_transfer_bytes_total",
+                                    "KV bytes moved prefill -> decode");
+    kv_transfer_seconds_ = &m.counter("marlin_kv_transfer_seconds_total",
+                                      "Link seconds spent moving KV "
+                                      "prefill -> decode");
     replicas_started_ =
         &m.counter("marlin_replicas_started_total", "Replicas brought up");
     replicas_drained_ = &m.counter("marlin_replicas_drained_total",
@@ -274,6 +282,24 @@ void ServeRecorder::on_slo_tpot_violation(double t_s, index_t request) {
                     "slo-tpot-violation", "slo", t_s);
   }
   if (slo_tpot_violations_ != nullptr) slo_tpot_violations_->inc();
+}
+
+void ServeRecorder::on_kv_transfer(double t0_s, double t1_s, index_t request,
+                                   index_t src, index_t dst, double bytes,
+                                   index_t tokens) {
+  if (trace_ != nullptr) {
+    trace_->complete(kRequestsPid, static_cast<std::int64_t>(request),
+                     "kv-transfer", "request", t0_s, t1_s,
+                     {{"src", static_cast<std::int64_t>(src)},
+                      {"dst", static_cast<std::int64_t>(dst)},
+                      {"bytes", bytes},
+                      {"tokens", static_cast<std::int64_t>(tokens)}});
+  }
+  if (kv_transfers_ != nullptr) kv_transfers_->inc();
+  if (kv_transfer_bytes_ != nullptr) kv_transfer_bytes_->inc(bytes);
+  if (kv_transfer_seconds_ != nullptr) {
+    kv_transfer_seconds_->inc(t1_s - t0_s);
+  }
 }
 
 void ServeRecorder::on_prefill_step(double t0_s, double t1_s, index_t replica,

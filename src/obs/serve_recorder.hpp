@@ -77,6 +77,11 @@ class ServeRecorder {
                    index_t output_tokens, double ttft_ms, double tpot_ms);
   void on_slo_ttft_violation(double t_s, index_t request);
   void on_slo_tpot_violation(double t_s, index_t request);
+  /// Disaggregated prefill -> decode KV handoff: `tokens` of prompt KV
+  /// (`bytes` on the wire) moved from replica `src` to `dst` over
+  /// [t0, t1]. Rendered as a span on the request's lifecycle row.
+  void on_kv_transfer(double t0_s, double t1_s, index_t request, index_t src,
+                      index_t dst, double bytes, index_t tokens);
 
   // ---- engine steps ----------------------------------------------------
   void on_prefill_step(double t0_s, double t1_s, index_t replica,
@@ -136,6 +141,9 @@ class ServeRecorder {
   Counter* prefix_tokens_skipped_ = nullptr;
   Counter* slo_ttft_violations_ = nullptr;
   Counter* slo_tpot_violations_ = nullptr;
+  Counter* kv_transfers_ = nullptr;
+  Counter* kv_transfer_bytes_ = nullptr;
+  Counter* kv_transfer_seconds_ = nullptr;
   Counter* replicas_started_ = nullptr;
   Counter* replicas_drained_ = nullptr;
   Counter* replicas_retired_ = nullptr;

@@ -22,9 +22,25 @@ void AutoscalerConfig::validate() const {
                "(hysteresis)");
 }
 
+void DisaggConfig::validate() const {
+  if (!enabled) return;
+  MARLIN_CHECK(prefill_replicas >= 1,
+               "disaggregation needs at least one prefill replica");
+  MARLIN_CHECK(decode_replicas >= 1,
+               "disaggregation needs at least one decode replica");
+  MARLIN_CHECK(kv_bytes_per_token >= 0,
+               "negative disagg kv_bytes_per_token");
+  MARLIN_CHECK(link_bytes_per_s >= 0 && link_latency_s >= 0,
+               "negative disagg link pricing");
+}
+
 void ClusterOptions::validate() const {
   MARLIN_CHECK(replicas >= 1, "cluster needs at least one replica");
   autoscaler.validate();
+  disagg.validate();
+  MARLIN_CHECK(!(disagg.enabled && autoscaler.enabled),
+               "disaggregated pools and the autoscaler are mutually "
+               "exclusive (pool sizes are fixed)");
   if (autoscaler.enabled) {
     MARLIN_CHECK(replicas >= autoscaler.min_replicas &&
                      replicas <= autoscaler.max_replicas,
@@ -67,10 +83,19 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
   }
 
   // The fleet only ever grows (a deque keeps references stable); retired
-  // replicas stay in place so ids keep indexing it.
+  // replicas stay in place so ids keep indexing it. Under disaggregation
+  // the prefill pool takes ids 0..P-1 and the decode pool P..P+D-1.
+  const DisaggConfig& disagg = opts_.disagg;
+  const index_t initial_replicas =
+      disagg.enabled ? disagg.prefill_replicas + disagg.decode_replicas
+                     : opts_.replicas;
   std::deque<Replica> fleet;
-  for (index_t i = 0; i < opts_.replicas; ++i) {
-    fleet.emplace_back(i, scheduler_);
+  for (index_t i = 0; i < initial_replicas; ++i) {
+    const ReplicaRole role =
+        !disagg.enabled ? ReplicaRole::kUnified
+        : (i < disagg.prefill_replicas ? ReplicaRole::kPrefill
+                                       : ReplicaRole::kDecode);
+    fleet.emplace_back(i, scheduler_, role);
     fleet.back().register_tenants(requests);
     if (obs != nullptr) {
       fleet.back().set_observer(obs);
@@ -100,6 +125,111 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
       if (rep.try_retire() && obs != nullptr) {
         obs->on_replica_retire(rep.now(), rep.id());
       }
+    }
+  };
+
+  // ---- prefill -> decode migration (disaggregated pools) ---------------
+  // A migration decided at time t releases the KV on the source and
+  // acquires it on the destination immediately (the receive buffer is
+  // held for the transfer's duration), then the request sits in flight
+  // until `ready_s = t + link time`, when it joins the destination's
+  // decode batch. In-flight handoffs are loop events like arrivals: they
+  // bound the idle frontier and are delivered once the frontier passes.
+  struct PendingMigration {
+    std::size_t request_id;
+    std::size_t dest;  // fleet index
+    double ready_s;
+  };
+  std::vector<PendingMigration> pending;
+  index_t migration_ttft_violations = 0;
+
+  const auto link_stats_for = [&](index_t src, index_t dst) -> LinkStats& {
+    for (LinkStats& l : stats.links) {
+      if (l.src == src && l.dst == dst) return l;
+    }
+    stats.links.push_back(LinkStats{src, dst, 0, 0.0, 0.0});
+    return stats.links.back();
+  };
+
+  // Scans a prefill replica right after its tick for requests whose
+  // prefill just completed. Each is decided exactly once: migrate when an
+  // active decode replica can hold the KV, otherwise decode in place (the
+  // unified fallback — also taken on a draining source, which finishes
+  // its work where it is).
+  const auto scan_migrations = [&](Replica& src) {
+    for (std::size_t pos = 0; pos < src.state().running.size();) {
+      const std::size_t id = src.state().running[pos];
+      sched::Request& r = requests[id];
+      if (r.migration_decided ||
+          r.state != sched::RequestState::kRunning) {
+        ++pos;
+        continue;
+      }
+      r.migration_decided = true;
+      if (src.lifecycle() != ReplicaLifecycle::kActive ||
+          r.generated >= r.output_tokens) {
+        ++pos;
+        continue;
+      }
+      const index_t need =
+          src.state().bm.blocks_for_tokens(r.prefill_target());
+      Replica* dest = nullptr;
+      index_t dest_load = 0;
+      for (Replica& rep : fleet) {
+        if (rep.role() != ReplicaRole::kDecode ||
+            rep.lifecycle() != ReplicaLifecycle::kActive ||
+            !rep.state().bm.can_allocate(need)) {
+          continue;
+        }
+        // Strict < keeps the lowest id on ties.
+        const index_t load = rep.outstanding_tokens(requests);
+        if (dest == nullptr || load < dest_load) {
+          dest = &rep;
+          dest_load = load;
+        }
+      }
+      if (dest == nullptr) {  // decode pool full: decode in place
+        ++pos;
+        continue;
+      }
+      const double t0 = src.now();
+      src.migrate_out(id, requests);  // shrinks running at `pos`
+      const index_t skipped = dest->begin_migration(id, requests);
+      const index_t moved = std::max<index_t>(0, r.prompt_tokens - skipped);
+      const double bytes =
+          disagg.kv_bytes_per_token * static_cast<double>(moved);
+      const double ready_s = t0 + disagg.transfer_seconds(bytes);
+      // The first token cannot be streamed before its KV handoff
+      // completes: the transfer latency lands on TTFT, and a deadline the
+      // prefill met can be missed on the wire.
+      const sched::SloConfig& slo = scheduler_.config().slo;
+      if (slo.ttft_deadline_ms > 0 && r.first_token_s >= 0) {
+        const double old_ms = (r.first_token_s - r.arrival_s) * 1e3;
+        const double new_ms = (ready_s - r.arrival_s) * 1e3;
+        if (old_ms <= slo.ttft_deadline_ms &&
+            new_ms > slo.ttft_deadline_ms) {
+          ++migration_ttft_violations;
+          if (obs != nullptr) obs->on_slo_ttft_violation(ready_s, r.id);
+        }
+      }
+      r.first_token_s = ready_s;
+      ++r.migrations;
+      ++stats.migrations;
+      stats.transferred_tokens += moved;
+      stats.transfer_skipped_tokens += skipped;
+      stats.transfer_bytes += bytes;
+      stats.transfer_seconds += ready_s - t0;
+      LinkStats& link = link_stats_for(src.id(), dest->id());
+      ++link.transfers;
+      link.bytes += bytes;
+      link.seconds += ready_s - t0;
+      if (obs != nullptr) {
+        obs->on_kv_transfer(t0, ready_s, r.id, src.id(), dest->id(), bytes,
+                            moved);
+      }
+      pending.push_back(
+          PendingMigration{id, static_cast<std::size_t>(dest->id()),
+                           ready_s});
     }
   };
 
@@ -166,13 +296,39 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     Replica* target = earliest_busy();
     double frontier;
     if (target == nullptr) {
-      if (next_arrival >= requests.size()) break;  // drained the trace
-      frontier = requests[next_arrival].arrival_s;  // idle jump
+      // Idle jump to the next event: an undelivered arrival or an
+      // in-flight migration, whichever lands first. Neither left means
+      // the trace is drained.
+      bool have_event = false;
+      frontier = 0.0;
+      if (next_arrival < requests.size()) {
+        frontier = requests[next_arrival].arrival_s;
+        have_event = true;
+      }
+      for (const PendingMigration& p : pending) {
+        if (!have_event || p.ready_s < frontier) {
+          frontier = p.ready_s;
+          have_event = true;
+        }
+      }
+      if (!have_event) break;
     } else {
       frontier = target->now();
     }
 
     autoscale_upto(frontier);
+
+    // Deliver every in-flight migration the frontier has passed (list
+    // order is decision order, so ties resolve deterministically).
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].ready_s <= frontier) {
+        fleet[pending[i].dest].finish_migration(pending[i].request_id,
+                                                pending[i].ready_s, requests);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
 
     // Deliver (route) every arrival the frontier has passed.
     while (next_arrival < requests.size() &&
@@ -208,6 +364,10 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
                                                 << " made no progress at t="
                                                 << target->now());
 
+    if (disagg.enabled && target->role() == ReplicaRole::kPrefill) {
+      scan_migrations(*target);
+    }
+
     retire_drained();
   }
 
@@ -240,6 +400,7 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     batch_weighted += s.batch_weighted;
     decode_time_total += s.decode_time_total;
   }
+  stats.sched.slo_ttft_violations += migration_ttft_violations;
   stats.sched.metrics =
       sched::metrics_from_requests(requests, batch_weighted,
                                    decode_time_total);
@@ -250,6 +411,7 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     ReplicaStats r;
     r.id = rep.id();
     r.lifecycle = rep.lifecycle();
+    r.role = rep.role();
     r.clock_s = s.now;
     r.routed = rep.routed();
     r.shed = s.shed;
@@ -258,6 +420,8 @@ ClusterStats EventLoop::run(const std::vector<sched::TraceRequest>& trace,
     r.decode_steps = s.decode_steps;
     r.peak_kv_blocks = s.bm.peak_used_blocks();
     r.leaked_kv_blocks = s.bm.used_blocks();
+    r.migrated_in = rep.migrated_in();
+    r.migrated_out = rep.migrated_out();
     stats.replicas.push_back(r);
   }
   for (const sched::Request& r : requests) {

@@ -53,6 +53,40 @@ struct AutoscalerConfig {
   void validate() const;
 };
 
+/// Disaggregated prefill/decode pools. When enabled the fleet is
+/// `prefill_replicas` prefill-role replicas (ids 0..P-1, the only ones
+/// the Router places arrivals on) plus `decode_replicas` decode-role
+/// replicas (ids P..P+D-1); `ClusterOptions::replicas` is ignored. At
+/// prefill completion a request migrates to the decode replica with the
+/// least outstanding work (ties: lowest id), its KV priced as one
+/// point-to-point transfer on the link: bytes = `kv_bytes_per_token` x
+/// the prompt tokens whose blocks the destination's prefix cache does
+/// not already hold, seconds = bytes / `link_bytes_per_s` +
+/// `link_latency_s` (a zero-rate, zero-latency link is free — the
+/// differential-test configuration). The transfer latency lands on the
+/// request's TTFT. Requests migrate at most once; when no active decode
+/// replica can hold the KV (or the source is draining), the request
+/// decodes in place — the unified fallback.
+struct DisaggConfig {
+  bool enabled = false;
+  index_t prefill_replicas = 1;
+  index_t decode_replicas = 1;
+  /// KV bytes one context token occupies. `simulate_cluster_detailed`
+  /// fills 0 from the engine; a direct EventLoop caller picks its own.
+  double kv_bytes_per_token = 0;
+  /// Transfer link. 0 bytes/s means infinitely fast (only the latency
+  /// term is paid); 0/0 is the zero-cost link.
+  double link_bytes_per_s = 0;
+  double link_latency_s = 0;
+
+  /// Seconds one KV transfer of `bytes` takes on the link.
+  [[nodiscard]] double transfer_seconds(double bytes) const {
+    return (link_bytes_per_s > 0 ? bytes / link_bytes_per_s : 0.0) +
+           link_latency_s;
+  }
+  void validate() const;
+};
+
 struct ClusterOptions {
   /// Initial fleet size. The defaults — one replica, round-robin, no
   /// autoscaler, which a lone replica both make trivial — are exactly the
@@ -60,6 +94,9 @@ struct ClusterOptions {
   index_t replicas = 1;
   Placement placement = Placement::kRoundRobin;
   AutoscalerConfig autoscaler;
+  /// Disaggregated prefill/decode pools (sizes the fleet by itself when
+  /// enabled; mutually exclusive with the autoscaler).
+  DisaggConfig disagg;
 
   void validate() const;
 };
@@ -68,6 +105,7 @@ struct ClusterOptions {
 struct ReplicaStats {
   index_t id = 0;
   ReplicaLifecycle lifecycle = ReplicaLifecycle::kActive;
+  ReplicaRole role = ReplicaRole::kUnified;
   double clock_s = 0;    // final value of the replica's clock
   index_t routed = 0;    // requests the router placed here
   index_t completed = 0;
@@ -79,6 +117,20 @@ struct ReplicaStats {
   /// KV blocks still allocated after the run — always 0 unless a
   /// lifecycle bug leaks them (asserted by tests).
   index_t leaked_kv_blocks = 0;
+  /// Disaggregation traffic: requests this replica handed off at prefill
+  /// completion / received into its decode batch.
+  index_t migrated_out = 0;
+  index_t migrated_in = 0;
+};
+
+/// Per-link KV-transfer accounting under disaggregation, keyed by the
+/// (source, destination) replica pair in first-use order.
+struct LinkStats {
+  index_t src = 0;
+  index_t dst = 0;
+  index_t transfers = 0;
+  double bytes = 0;
+  double seconds = 0;
 };
 
 /// Fleet-level outcome: the legacy SchedStats (metrics over all requests,
@@ -91,6 +143,17 @@ struct ClusterStats {
   index_t replicas_added = 0;    // autoscaler additions beyond the initial
   index_t replicas_drained = 0;  // drains begun (retired or still busy)
   index_t peak_replicas = 0;     // max simultaneously routable
+
+  // Disaggregation accounting (all zero when disagg is off).
+  index_t migrations = 0;  // prefill -> decode handoffs completed or begun
+  /// Prompt tokens whose KV actually crossed the wire (migrated tokens
+  /// minus destination prefix-cache hits).
+  index_t transferred_tokens = 0;
+  /// Prompt tokens a destination's prefix cache spared the wire.
+  index_t transfer_skipped_tokens = 0;
+  double transfer_bytes = 0;
+  double transfer_seconds = 0;  // summed per-transfer link time
+  std::vector<LinkStats> links;
 };
 
 class EventLoop {

@@ -24,18 +24,31 @@ enum class ReplicaLifecycle { kActive, kDraining, kRetired };
 
 const char* to_string(ReplicaLifecycle lc);
 
+/// Pool membership under disaggregated serving. Unified replicas (the
+/// default, and the only role outside disaggregation) both prefill and
+/// decode; prefill-role replicas take arrivals and hand requests off at
+/// prefill completion; decode-role replicas never take arrivals — they
+/// only receive migrated requests.
+enum class ReplicaRole { kUnified, kPrefill, kDecode };
+
+const char* to_string(ReplicaRole role);
+
 class Replica {
  public:
   /// `scheduler` is borrowed and must outlive the replica; its config
   /// carves this replica's private KV block budget.
-  Replica(index_t id, const sched::Scheduler& scheduler);
+  Replica(index_t id, const sched::Scheduler& scheduler,
+          ReplicaRole role = ReplicaRole::kUnified);
 
   [[nodiscard]] index_t id() const { return id_; }
   [[nodiscard]] ReplicaLifecycle lifecycle() const { return lifecycle_; }
+  [[nodiscard]] ReplicaRole role() const { return role_; }
   /// Accepts new placements: active (draining/retired replicas only
-  /// finish what they already hold).
+  /// finish what they already hold) and not decode-role (the decode pool
+  /// is fed by migration, never by the router).
   [[nodiscard]] bool routable() const {
-    return lifecycle_ == ReplicaLifecycle::kActive;
+    return lifecycle_ == ReplicaLifecycle::kActive &&
+           role_ != ReplicaRole::kDecode;
   }
   /// Requests waiting or in flight — a busy replica must keep ticking.
   [[nodiscard]] bool busy() const { return state_.busy(); }
@@ -70,6 +83,36 @@ class Replica {
   /// kDraining -> kRetired transition.
   bool try_retire();
 
+  // ---- prefill -> decode migration (disaggregated pools) ---------------
+
+  /// Source half of a migration: removes a request whose prefill just
+  /// completed from this replica's running batch and releases every KV
+  /// reference it holds here (published prompt blocks park in the local
+  /// prefix cache as usual). Throws unless the request is currently
+  /// running on this replica — a queued, preempted or finished request
+  /// must never migrate.
+  void migrate_out(std::size_t request_id,
+                   std::vector<sched::Request>& requests);
+
+  /// Destination half, called at the migration decision: re-acquires the
+  /// request's prefill KV through the handle API — the leading run of its
+  /// prefix chain is served from this replica's prefix cache where
+  /// published, and only the remainder needs the wire — publishes it, and
+  /// re-forks the extra sampling sequences. The request is *not* running
+  /// here yet (the transfer is still in flight); `finish_migration`
+  /// delivers it. Returns the prompt tokens the local cache skipped.
+  index_t begin_migration(std::size_t request_id,
+                          std::vector<sched::Request>& requests);
+
+  /// Completes an in-flight migration at `ready_s`: stamps the placement,
+  /// advances the clock (the request cannot decode before its KV landed)
+  /// and appends it to the running batch.
+  void finish_migration(std::size_t request_id, double ready_s,
+                        std::vector<sched::Request>& requests);
+
+  [[nodiscard]] index_t migrated_in() const { return migrated_in_; }
+  [[nodiscard]] index_t migrated_out() const { return migrated_out_; }
+
   /// Total tokens of outstanding work (prefill still owed plus decode
   /// tokens still owed) across queued and in-flight requests — the
   /// least-loaded placement key.
@@ -91,7 +134,10 @@ class Replica {
   const sched::Scheduler* scheduler_;
   sched::ReplicaState state_;
   ReplicaLifecycle lifecycle_ = ReplicaLifecycle::kActive;
+  ReplicaRole role_ = ReplicaRole::kUnified;
   index_t routed_ = 0;
+  index_t migrated_in_ = 0;
+  index_t migrated_out_ = 0;
   /// Scratch for `cached_prefix_blocks` (probes run once per arrival;
   /// retained capacity keeps the routing path allocation-free).
   mutable std::vector<std::uint64_t> probe_chain_;

@@ -15,6 +15,9 @@ void ParallelConfig::validate() const {
   MARLIN_CHECK(microbatches >= 0,
                "microbatch count must be >= 0 (0 = one per stage), got "
                    << microbatches);
+  MARLIN_CHECK(comm_buckets >= 1,
+               "comm-bucket count must be >= 1 (1 = serialized), got "
+                   << comm_buckets);
 }
 
 std::string ParallelConfig::to_string() const {
@@ -23,6 +26,7 @@ std::string ParallelConfig::to_string() const {
   if (microbatches > 0 && microbatches != pipeline_parallel) {
     os << " mb" << microbatches;
   }
+  if (comm_buckets > 1) os << " cb" << comm_buckets;
   return os.str();
 }
 

@@ -21,6 +21,13 @@ struct ParallelConfig {
   /// Microbatches per engine step under pipeline parallelism;
   /// 0 = one per pipeline stage (the classic fill/drain minimum).
   int microbatches = 0;
+  /// Chunks each per-block tensor-parallel all-reduce is split into so
+  /// its transfer overlaps the next block's compute (decode steps only).
+  /// 1 = the serialized compute-then-communicate pricing, bit-identical
+  /// to the pre-overlap model. More buckets hide more bandwidth time but
+  /// pay the ring's latency term once per chunk; the stage time is never
+  /// priced above the serialized schedule.
+  int comm_buckets = 1;
 
   [[nodiscard]] int world_size() const {
     return tensor_parallel * pipeline_parallel;
@@ -32,9 +39,10 @@ struct ParallelConfig {
     return microbatches > 0 ? microbatches : pipeline_parallel;
   }
 
-  /// Throws on a malformed config (degrees < 1, negative microbatches).
+  /// Throws on a malformed config (degrees < 1, negative microbatches,
+  /// comm buckets < 1).
   void validate() const;
-  /// Compact label, e.g. "tp2 pp2" or "tp1 pp4 mb8".
+  /// Compact label, e.g. "tp2 pp2", "tp1 pp4 mb8" or "tp4 pp1 cb4".
   [[nodiscard]] std::string to_string() const;
 };
 

@@ -51,8 +51,12 @@ StepBreakdown ParallelEngine::decode_breakdown_at(
 
   // Per-microbatch stage time: max over every rank of compute plus its
   // tensor-parallel all-reduce share. Iterate in rank order with a strict
-  // greater-than so the argmax is deterministic.
+  // greater-than so the argmax is deterministic. With comm_buckets > 1
+  // the schedule the step actually pays is the overlapped one, tracked as
+  // a second max over the same rank order; comm_buckets == 1 keeps both
+  // maxima equal by construction.
   double stage_max = 0.0;
+  double stage_max_overlapped = 0.0;
   for (const Worker& w : workers_) {
     const double compute = w.decode_compute_seconds(mb.seqs, bucket_context);
     const double comm = w.tp_comm_seconds(mb.seqs);
@@ -61,6 +65,10 @@ StepBreakdown ParallelEngine::decode_breakdown_at(
       b.stage_compute_s = compute;
       b.tp_comm_s = comm;
     }
+    stage_max_overlapped = std::max(
+        stage_max_overlapped,
+        w.overlapped_decode_stage_seconds(mb.seqs, bucket_context,
+                                          cfg_.comm_buckets));
   }
 
   const int pp = cfg_.pipeline_parallel;
@@ -72,7 +80,8 @@ StepBreakdown ParallelEngine::decode_breakdown_at(
 
   const double slots = static_cast<double>(mb.count + pp - 1);
   b.bubble_fraction = static_cast<double>(pp - 1) / slots;
-  b.total_s = slots * stage_max + b.pp_send_s +
+  b.overlap_saved_s = slots * (stage_max - stage_max_overlapped);
+  b.total_s = slots * stage_max_overlapped + b.pp_send_s +
               engine_.config().step_overhead_s;
   return b;
 }

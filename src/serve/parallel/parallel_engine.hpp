@@ -15,6 +15,14 @@
 //
 // The fill/drain bubble fraction is (stages-1)/(microbatches+stages-1).
 //
+// With `ParallelConfig::comm_buckets > 1` a decode stage's per-block
+// all-reduces are split into chunks that overlap the next block's compute
+// (see Worker::overlapped_decode_stage_seconds); the stage time becomes
+// the max over ranks of that overlapped schedule, never above the
+// serialized one, and the difference is surfaced per step as
+// `StepBreakdown::overlap_saved_s`. The default (1 bucket) reproduces the
+// serialized pricing bit-for-bit.
+//
 // The trivial config (TP=1, PP=1) delegates every query to the wrapped
 // Engine, so it reproduces the legacy single-device numbers — and the
 // fig15/fig16/serve_scheduler goldens — bit-for-bit. Non-trivial configs
@@ -49,6 +57,9 @@ struct StepBreakdown {
   int microbatches = 1;
   /// Pipeline fill/drain bubble fraction, (pp-1)/(mb+pp-1).
   double bubble_fraction = 0;
+  /// Seconds the bucketed all-reduce/compute overlap removed from the
+  /// serialized schedule (0 when `comm_buckets` is 1, the default).
+  double overlap_saved_s = 0;
 };
 
 class ParallelEngine final : public StepModel {

@@ -113,6 +113,49 @@ double Worker::verify_compute_seconds(index_t seqs, double avg_context,
   return t;
 }
 
+double Worker::overlapped_decode_stage_seconds(index_t mb_tokens,
+                                               double avg_context,
+                                               int comm_buckets) const {
+  const double serialized =
+      decode_compute_seconds(mb_tokens, avg_context) +
+      tp_comm_seconds(mb_tokens);
+  if (comm_buckets <= 1 || cfg_.tensor_parallel == 1 || num_layers_ == 0) {
+    return serialized;
+  }
+  // Per-block pieces: compute of one transformer block, and its two ring
+  // all-reduces. Splitting an all-reduce into `comm_buckets` chunks keeps
+  // the chunks in flight back to back on the link, so the ring's latency
+  // hops amortize across the pipeline and the block's total wire time
+  // stays the unchunked cost — what chunking buys is a bounded *exposed
+  // tail*: once the last block's compute retires, only its final chunk is
+  // still draining.
+  const double block_compute =
+      engine_->block_linear_seconds(mb_tokens, cfg_.tensor_parallel) +
+      engine_->attention_layer_seconds(mb_tokens, avg_context,
+                                       cfg_.tensor_parallel);
+  const Interconnect link = Interconnect::of(engine_->config().gpu);
+  const double bytes = static_cast<double>(mb_tokens) *
+                       static_cast<double>(engine_->config().model.hidden) *
+                       2.0;
+  const double block_comm =
+      2.0 * link.allreduce_seconds(bytes, cfg_.tensor_parallel);
+  const double tail =
+      2.0 * link.allreduce_seconds(bytes / static_cast<double>(comm_buckets),
+                                   cfg_.tensor_parallel);
+  // Two-stage software pipeline over the block sequence: block j's chunked
+  // all-reduces drain while block j+1 computes, so the slower of the two
+  // paces the middle of the chain and only the last block's final chunks
+  // are fully exposed. Clamp at the serialized schedule — overlap must
+  // never price a step slower.
+  const double layers = static_cast<double>(num_layers_);
+  double t = block_compute +
+             (layers - 1.0) * std::max(block_compute, block_comm) + tail;
+  if (has_lm_head()) {
+    t += engine_->lm_head_seconds(mb_tokens, cfg_.tensor_parallel);
+  }
+  return std::min(serialized, t);
+}
+
 double Worker::tp_comm_seconds(index_t tokens) const {
   if (cfg_.tensor_parallel == 1) return 0.0;
   // Interconnect is a pure projection of the DeviceSpec (the single

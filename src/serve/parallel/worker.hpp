@@ -79,6 +79,14 @@ class Worker {
   /// Tensor-parallel all-reduce seconds this rank pays per microbatch of
   /// `tokens` (two ring all-reduces per owned transformer block).
   [[nodiscard]] double tp_comm_seconds(index_t tokens) const;
+  /// Per-microbatch decode stage seconds with each block's all-reduces
+  /// split into `comm_buckets` chunks whose transfer overlaps the next
+  /// block's compute. `comm_buckets <= 1` (or TP=1) reproduces
+  /// `decode_compute_seconds + tp_comm_seconds` bit-for-bit; the result
+  /// is never above that serialized schedule.
+  [[nodiscard]] double overlapped_decode_stage_seconds(index_t mb_tokens,
+                                                       double avg_context,
+                                                       int comm_buckets) const;
 
  private:
   const Engine* engine_;

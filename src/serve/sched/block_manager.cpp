@@ -395,35 +395,6 @@ bool BlockManager::grow_to(SequenceBlocks& seq, index_t tokens,
   return true;
 }
 
-std::vector<index_t> BlockManager::allocate(index_t n, index_t tenant) {
-  std::vector<index_t> ids;
-  ids.reserve(uz(std::max<index_t>(n, 0)));
-  acquire_ids(ids, n, tenant);
-  return ids;
-}
-
-void BlockManager::allocate_into(std::vector<index_t>& out, index_t n,
-                                 index_t tenant) {
-  acquire_ids(out, n, tenant);
-}
-
-void BlockManager::free(std::vector<index_t>& ids, index_t tenant) {
-  release_ids(ids, tenant);
-}
-
-bool BlockManager::grow_to(std::vector<index_t>& held, index_t tokens,
-                           index_t tenant) {
-  const index_t need =
-      blocks_for_tokens(tokens) - static_cast<index_t>(held.size());
-  if (need <= 0) return true;
-  if (!can_allocate(need)) {
-    ++grow_failures_;
-    return false;
-  }
-  acquire_ids(held, need, tenant);
-  return true;
-}
-
 index_t BlockManager::tenant_used_blocks(index_t tenant) const {
   if (tenant < 0 || uz(tenant) >= tenant_used_.size()) return 0;
   return tenant_used_[uz(tenant)];

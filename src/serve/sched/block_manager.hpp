@@ -210,26 +210,6 @@ class BlockManager {
   [[nodiscard]] bool grow_to(SequenceBlocks& seq, index_t tokens,
                              index_t covered_tokens, index_t tenant = 0);
 
-  // ---- deprecated raw-id shims (one release; port to the handle API) ---
-
-  /// Hands out `n` block ids to `tenant`; throws if the budget cannot
-  /// cover them.
-  [[deprecated("use acquire(SequenceBlocks&, n, tenant)")]] [[nodiscard]]
-  std::vector<index_t> allocate(index_t n, index_t tenant = 0);
-
-  /// Like `allocate`, but appends the `n` new ids to `out`.
-  [[deprecated("use acquire(SequenceBlocks&, n, tenant)")]]
-  void allocate_into(std::vector<index_t>& out, index_t n, index_t tenant = 0);
-
-  /// Returns `tenant`'s blocks and clears `ids`.
-  [[deprecated("use release(SequenceBlocks&, tenant)")]]
-  void free(std::vector<index_t>& ids, index_t tenant = 0);
-
-  /// Grows a raw id vector to cover `tokens` (append-only, no CoW).
-  [[deprecated("use grow_to(SequenceBlocks&, tokens, covered, tenant)")]]
-  [[nodiscard]] bool grow_to(std::vector<index_t>& held, index_t tokens,
-                             index_t tenant = 0);
-
   // ---- per-tenant quota accounting -------------------------------------
 
   /// Blocks charged to `tenant` (shared blocks charge their last-acquired
@@ -278,7 +258,7 @@ class BlockManager {
   void lru_remove(index_t id);
   /// Reclaims the LRU head into the free list.
   void evict_one();
-  /// Shared bodies of the deprecated raw-id shims.
+  /// Raw-id bodies shared by the handle API (acquire/release/fork/CoW).
   void acquire_ids(std::vector<index_t>& out, index_t n, index_t tenant);
   void release_ids(std::vector<index_t>& ids, index_t tenant);
 

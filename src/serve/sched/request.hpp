@@ -97,8 +97,17 @@ struct Request {
   /// kFinished, no tokens produced).
   bool shed = false;
   /// Replica the cluster router placed the request on; -1 until routed
-  /// (single-replica runs route everything to replica 0).
+  /// (single-replica runs route everything to replica 0). A migration
+  /// re-stamps this to the destination when the KV handoff completes.
   index_t replica = -1;
+  /// Prefill -> decode handoffs under disaggregated pools (0 or 1 — a
+  /// request migrates at most once).
+  index_t migrations = 0;
+  /// Set once the disaggregated EventLoop has decided this request's
+  /// placement at prefill completion (migrate or decode in place), so a
+  /// later pass — or a post-preemption re-prefill — never re-decides.
+  /// Never read outside disaggregated runs.
+  bool migration_decided = false;
 
   /// Validated state transition; throws on an illegal edge.
   void set_state(RequestState next);

@@ -119,7 +119,9 @@ ServingMetrics metrics_from_requests(const std::vector<Request>& requests,
   if (!tpots.empty()) {
     m.mean_tpot_ms = mean(tpots);
     m.mean_ttft_ms = mean(ttfts);
+    m.p50_tpot_ms = percentile(tpots, 50.0);
     m.p90_tpot_ms = percentile(tpots, 90.0);
+    m.p99_tpot_ms = percentile(tpots, 99.0);
     m.p90_ttft_ms = percentile(ttfts, 90.0);
   }
   m.mean_batch =

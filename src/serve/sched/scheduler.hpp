@@ -73,7 +73,9 @@ namespace marlin::serve {
 struct ServingMetrics {
   double mean_tpot_ms = 0;  // time per output token (after the first)
   double mean_ttft_ms = 0;  // time to first token
+  double p50_tpot_ms = 0;
   double p90_tpot_ms = 0;
+  double p99_tpot_ms = 0;
   double p90_ttft_ms = 0;
   double mean_batch = 0;  // average decode batch the engine observed
   index_t completed = 0;

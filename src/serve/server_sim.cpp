@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "serve/parallel/interconnect.hpp"
 #include "serve/parallel/parallel_engine.hpp"
 #include "util/error.hpp"
 
@@ -82,8 +83,26 @@ cluster::ClusterStats simulate_cluster_detailed(const Engine& engine,
     draft.emplace(dcfg);
   }
 
+  // Disaggregated pools: price unset transfer-link fields from the engine
+  // (KV footprint per token) and the device's interconnect, so callers
+  // only opt in to the pool shape and get physical pricing for free. An
+  // explicit non-zero value always wins.
+  cluster::ClusterOptions copts = cfg.cluster;
+  if (copts.disagg.enabled) {
+    if (copts.disagg.kv_bytes_per_token <= 0) {
+      copts.disagg.kv_bytes_per_token = engine.kv_bytes_per_token();
+    }
+    if (copts.disagg.link_bytes_per_s <= 0 &&
+        copts.disagg.link_latency_s <= 0) {
+      const parallel::Interconnect link =
+          parallel::Interconnect::of(engine.config().gpu);
+      copts.disagg.link_bytes_per_s = link.bytes_per_s;
+      copts.disagg.link_latency_s = link.latency_s;
+    }
+  }
+
   const sched::Scheduler scheduler(model, sc, draft ? &*draft : nullptr);
-  return cluster::EventLoop(scheduler, cfg.cluster)
+  return cluster::EventLoop(scheduler, copts)
       .run(sched::generate_trace(w), ctx, cfg.recorder);
 }
 

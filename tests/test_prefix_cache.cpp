@@ -1,8 +1,8 @@
 // Ref-counted KV block API, hashed prefix cache and copy-on-write
 // sharing: refcount/charging invariants, the pinned chain-hash values,
-// LRU parking/eviction order, first-publisher-wins races, the deprecated
-// raw-id shims, cache-off bit-equality end to end, and the zero-alloc
-// steady-state decode tick with the cache warm.
+// LRU parking/eviction order, first-publisher-wins races, cache-off
+// bit-equality end to end, and the zero-alloc steady-state decode tick
+// with the cache warm.
 
 #include <gtest/gtest.h>
 
@@ -347,32 +347,6 @@ TEST(TenantCharging, ReleasingBlocksTheTenantDoesNotHoldThrows) {
   bm.release(a, 0);
   EXPECT_THROW(bm.release(copy, 0), Error);  // double release, stale copy
 }
-
-// ------------------------------------------------------- deprecated shims
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedShims, RawIdApiStillWorksForOneRelease) {
-  BlockManager bm(cache_cfg(8));
-  std::vector<index_t> ids = bm.allocate(2);
-  bm.allocate_into(ids, 1);
-  EXPECT_EQ(ids.size(), 3u);
-  EXPECT_EQ(bm.used_blocks(), 3);
-  EXPECT_TRUE(bm.grow_to(ids, 4 * 16));  // append-only raw growth
-  EXPECT_EQ(ids.size(), 4u);
-  bm.free(ids);
-  EXPECT_TRUE(ids.empty());
-  EXPECT_EQ(bm.used_blocks(), 0);
-  // Shim traffic shares the refcount machinery with the handle API.
-  SequenceBlocks h;
-  bm.acquire(h, 1);
-  std::vector<index_t> more = bm.allocate(1);
-  EXPECT_EQ(bm.used_blocks(), 2);
-  bm.free(more);
-  bm.release(h);
-  EXPECT_EQ(bm.used_blocks(), 0);
-}
-#pragma GCC diagnostic pop
 
 // ------------------------------------------------------------ end to end
 

@@ -1,8 +1,9 @@
 // Cluster serving tier: single-replica EventLoop equivalence with the
 // legacy scheduler loop (including through the server_sim path), router
 // placement determinism, replica add/drain lifecycle, SLO shed
-// accounting, autoscaler round trips with no KV-block leaks, and config
-// validation.
+// accounting, autoscaler round trips with no KV-block leaks, config
+// validation, and disaggregated prefill/decode pools (zero-cost-link
+// differential equivalence, priced KV transfers, migration edge cases).
 
 #include <gtest/gtest.h>
 
@@ -47,7 +48,9 @@ void expect_sched_equal(const sched::SchedStats& a,
                         const sched::SchedStats& b) {
   EXPECT_EQ(a.metrics.mean_tpot_ms, b.metrics.mean_tpot_ms);
   EXPECT_EQ(a.metrics.mean_ttft_ms, b.metrics.mean_ttft_ms);
+  EXPECT_EQ(a.metrics.p50_tpot_ms, b.metrics.p50_tpot_ms);
   EXPECT_EQ(a.metrics.p90_tpot_ms, b.metrics.p90_tpot_ms);
+  EXPECT_EQ(a.metrics.p99_tpot_ms, b.metrics.p99_tpot_ms);
   EXPECT_EQ(a.metrics.p90_ttft_ms, b.metrics.p90_ttft_ms);
   EXPECT_EQ(a.metrics.mean_batch, b.metrics.mean_batch);
   EXPECT_EQ(a.metrics.completed, b.metrics.completed);
@@ -347,6 +350,263 @@ TEST(Autoscaler, RunsReproduceBitIdentically) {
   EXPECT_EQ(a.peak_replicas, b.peak_replicas);
 }
 
+// ------------------------------------------ disaggregated prefill/decode
+
+// Arrivals spaced so far apart that each request drains completely before
+// the next lands: with no overlap, a 1 prefill + 1 decode pool over a
+// zero-cost link performs the exact same engine steps at the exact same
+// clock values as one unified replica — the differential configuration.
+std::vector<sched::TraceRequest> sparse_trace(index_t n, double gap_s) {
+  std::vector<sched::TraceRequest> trace;
+  for (index_t i = 0; i < n; ++i) {
+    sched::TraceRequest r;
+    r.arrival_s = gap_s * static_cast<double>(i);
+    r.input_tokens = 64;
+    r.output_tokens = 32;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+ClusterOptions disagg_1p1d(double kv_bytes_per_token = 0.0,
+                           double link_bytes_per_s = 0.0,
+                           double link_latency_s = 0.0) {
+  ClusterOptions opts;
+  opts.disagg.enabled = true;
+  opts.disagg.prefill_replicas = 1;
+  opts.disagg.decode_replicas = 1;
+  opts.disagg.kv_bytes_per_token = kv_bytes_per_token;
+  opts.disagg.link_bytes_per_s = link_bytes_per_s;
+  opts.disagg.link_latency_s = link_latency_s;
+  return opts;
+}
+
+TEST(DisaggDifferential, ZeroCostLinkMatchesUnifiedAndLegacyBitForBit) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(96));
+  const auto trace = sparse_trace(4, 20.0);
+  for (const int threads : {1, 4}) {
+    const SimContext ctx(threads);
+    const sched::SchedStats legacy = sch.run(trace, ctx);
+    EXPECT_EQ(legacy.metrics.completed, 4);
+    const ClusterStats unified =
+        EventLoop(sch, ClusterOptions{}).run(trace, ctx);
+    const ClusterStats disagg =
+        EventLoop(sch, disagg_1p1d()).run(trace, ctx);
+    expect_sched_equal(legacy, unified.sched);
+    expect_sched_equal(legacy, disagg.sched);
+    // The handoffs really happened — equivalence is not migration
+    // having silently fallen back to in-place decoding.
+    EXPECT_EQ(disagg.migrations, 4);
+    EXPECT_EQ(disagg.transfer_seconds, 0.0);
+    ASSERT_EQ(disagg.replicas.size(), 2u);
+    EXPECT_EQ(disagg.replicas[0].role, ReplicaRole::kPrefill);
+    EXPECT_EQ(disagg.replicas[1].role, ReplicaRole::kDecode);
+    EXPECT_EQ(disagg.replicas[0].migrated_out, 4);
+    EXPECT_EQ(disagg.replicas[1].migrated_in, 4);
+    EXPECT_EQ(disagg.replicas[0].decode_steps, 0);
+    EXPECT_EQ(disagg.replicas[0].leaked_kv_blocks, 0);
+    EXPECT_EQ(disagg.replicas[1].leaked_kv_blocks, 0);
+  }
+}
+
+TEST(DisaggMigration, PricedLinkDelaysTtftAndAccountsPerLink) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(96));
+  const auto trace = sparse_trace(3, 20.0);
+  // 1 KB per token over a 1 MB/s link with 1 ms setup: 64 tokens take
+  // 64/1000 + 0.001 seconds per transfer — large enough to observe.
+  const ClusterStats cs =
+      EventLoop(sch, disagg_1p1d(1e3, 1e6, 1e-3)).run(trace);
+  const ClusterStats free_link =
+      EventLoop(sch, disagg_1p1d()).run(trace);
+  EXPECT_EQ(cs.migrations, 3);
+  EXPECT_EQ(cs.transferred_tokens, 3 * 64);
+  EXPECT_DOUBLE_EQ(cs.transfer_bytes, 3.0 * 64.0 * 1e3);
+  // Accumulated as (arrival - start) differences, so allow float slack.
+  EXPECT_NEAR(cs.transfer_seconds, 3.0 * (64.0 * 1e3 / 1e6 + 1e-3), 1e-12);
+  // The wire time lands on TTFT, token for token.
+  const double per_transfer_s = 64.0 * 1e3 / 1e6 + 1e-3;
+  ASSERT_EQ(cs.sched.requests.size(), free_link.sched.requests.size());
+  for (std::size_t i = 0; i < cs.sched.requests.size(); ++i) {
+    EXPECT_NEAR(cs.sched.requests[i].first_token_s,
+                free_link.sched.requests[i].first_token_s + per_transfer_s,
+                1e-9);
+    EXPECT_EQ(cs.sched.requests[i].migrations, 1);
+  }
+  EXPECT_GT(cs.sched.metrics.mean_ttft_ms,
+            free_link.sched.metrics.mean_ttft_ms);
+  // Per-link accounting: one prefill replica, one decode replica, one
+  // directed link carrying everything.
+  ASSERT_EQ(cs.links.size(), 1u);
+  EXPECT_EQ(cs.links[0].src, 0);
+  EXPECT_EQ(cs.links[0].dst, 1);
+  EXPECT_EQ(cs.links[0].transfers, 3);
+  EXPECT_DOUBLE_EQ(cs.links[0].bytes, cs.transfer_bytes);
+  EXPECT_DOUBLE_EQ(cs.links[0].seconds, cs.transfer_seconds);
+}
+
+TEST(DisaggMigration, TransferCanMissATtftDeadlineThePrefillMet) {
+  sched::SchedulerConfig cfg = sched_cfg(96);
+  // Generous enough that the prefill itself always makes the deadline
+  // (nothing is shed), tight enough that a ~6 s transfer cannot.
+  cfg.slo.ttft_deadline_ms = 2000.0;
+  const sched::Scheduler sch(test_engine(), cfg);
+  const auto trace = sparse_trace(2, 30.0);
+  const ClusterStats free_link =
+      EventLoop(sch, disagg_1p1d()).run(trace);
+  EXPECT_EQ(free_link.sched.shed, 0);
+  EXPECT_EQ(free_link.sched.slo_ttft_violations, 0);
+  const ClusterStats slow =
+      EventLoop(sch, disagg_1p1d(1e3, 1e4, 0.0)).run(trace);  // 6.4 s/transfer
+  EXPECT_EQ(slow.migrations, 2);
+  EXPECT_EQ(slow.sched.slo_ttft_violations, 2);
+}
+
+TEST(DisaggMigration, FullDecodePoolFallsBackToDecodingInPlace) {
+  // A tight per-replica budget (8 blocks) and three near-simultaneous
+  // requests: the first migration parks ~5 blocks on the lone decode
+  // replica, so the next prefill completion cannot fit its 5 whole blocks
+  // there and decodes in place on the prefill replica, unified-style.
+  const sched::Scheduler sch(test_engine(), sched_cfg(8));
+  std::vector<sched::TraceRequest> trace;
+  for (index_t i = 0; i < 3; ++i) {
+    sched::TraceRequest r;
+    r.arrival_s = 0.02 * static_cast<double>(i);
+    r.input_tokens = 64;
+    r.output_tokens = 32;
+    trace.push_back(r);
+  }
+  const ClusterStats cs = EventLoop(sch, disagg_1p1d()).run(trace);
+  EXPECT_GE(cs.migrations, 1);  // the first handoff always fits
+  EXPECT_LT(cs.migrations, 3);  // at least one fell back in place
+  ASSERT_EQ(cs.replicas.size(), 2u);
+  // In-place fallback means the prefill replica really decoded.
+  EXPECT_GT(cs.replicas[0].decode_steps, 0);
+  EXPECT_EQ(cs.sched.metrics.completed + cs.sched.rejected + cs.sched.shed,
+            3);
+  EXPECT_EQ(cs.replicas[0].leaked_kv_blocks, 0);
+  EXPECT_EQ(cs.replicas[1].leaked_kv_blocks, 0);
+  // Fallback is a placement decision, not a failure: nothing was shed or
+  // rejected by it.
+  EXPECT_EQ(cs.sched.metrics.completed, 3);
+}
+
+TEST(DisaggMigration, OnlyRunningRequestsMayMigrateOut) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(96));
+  Replica src(0, sch, ReplicaRole::kPrefill);
+  std::vector<sched::Request> requests;
+  requests.emplace_back(0, 0.0, 64, 8);
+  requests.emplace_back(1, 0.0, 64, 8);
+  src.register_tenants(requests);
+  src.deliver(0, requests);
+  // Still queued: no prefill has produced KV worth moving.
+  EXPECT_THROW(src.migrate_out(0, requests), Error);
+  while (!requests[0].finished()) src.tick(requests);
+  // Finished requests cannot move either.
+  EXPECT_THROW(src.migrate_out(0, requests), Error);
+  // A preempted request freed its KV — the guard refuses it outright
+  // (the EventLoop's decision pass additionally skips non-running
+  // states, so this throw is the backstop, not the normal path).
+  sched::Request& preempted = requests[1];
+  preempted.set_state(sched::RequestState::kPrefilling);
+  preempted.set_state(sched::RequestState::kRunning);
+  preempted.set_state(sched::RequestState::kPreempted);
+  EXPECT_THROW(src.migrate_out(1, requests), Error);
+  EXPECT_EQ(src.state().bm.used_blocks(), 0);
+}
+
+TEST(DisaggMigration, DrainingPrefillReplicaFinishesItsWorkInPlace) {
+  const sched::Scheduler sch(test_engine(), sched_cfg(96));
+  Replica src(0, sch, ReplicaRole::kPrefill);
+  std::vector<sched::Request> requests;
+  requests.emplace_back(0, 0.0, 64, 8);
+  src.register_tenants(requests);
+  src.deliver(0, requests);
+  while (requests[0].state != sched::RequestState::kRunning) {
+    src.tick(requests);
+  }
+  src.begin_drain();
+  // The EventLoop's decision pass leaves requests on a non-active source
+  // alone; the draining replica finishes them where they are.
+  EXPECT_FALSE(src.routable());
+  while (!requests[0].finished()) src.tick(requests);
+  EXPECT_EQ(requests[0].replica, 0);
+  EXPECT_GE(requests[0].finish_s, 0.0);
+  EXPECT_EQ(src.migrated_out(), 0);
+  EXPECT_TRUE(src.try_retire());
+  EXPECT_EQ(src.state().bm.used_blocks(), 0);
+}
+
+TEST(DisaggMigration, DestinationPrefixCacheSkipsTransferredBlocks) {
+  sched::SchedulerConfig cfg = sched_cfg(96);
+  cfg.blocks.prefix_cache.enabled = true;
+  const sched::Scheduler sch(test_engine(), cfg);
+  Replica src(0, sch, ReplicaRole::kPrefill);
+  Replica dst(1, sch, ReplicaRole::kDecode);
+  std::vector<sched::Request> requests;
+  for (index_t i = 0; i < 2; ++i) {
+    sched::Request& r = requests.emplace_back(i, 0.0, 64, 8);
+    r.prefix_id = 7;
+    r.prefix_tokens = 64;  // 4 full blocks of shared prefix
+  }
+  src.register_tenants(requests);
+  dst.register_tenants(requests);
+
+  // First request: cold destination cache, everything crosses the wire.
+  src.deliver(0, requests);
+  while (requests[0].state != sched::RequestState::kRunning) {
+    src.tick(requests);
+  }
+  src.migrate_out(0, requests);
+  EXPECT_EQ(dst.begin_migration(0, requests), 0);
+  dst.finish_migration(0, src.now(), requests);
+  while (!requests[0].finished()) dst.tick(requests);
+  EXPECT_EQ(dst.migrated_in(), 1);
+
+  // Second request shares the prefix: releasing the first parked its
+  // published prompt blocks in the destination's cache, so the re-acquire
+  // hits and those tokens never cross the wire.
+  src.deliver(1, requests);
+  while (requests[1].state != sched::RequestState::kRunning) {
+    src.tick(requests);
+  }
+  src.migrate_out(1, requests);
+  const index_t skipped = dst.begin_migration(1, requests);
+  EXPECT_EQ(skipped, 64);
+  EXPECT_EQ(dst.state().prefix_tokens_skipped, 64);
+  dst.finish_migration(1, src.now(), requests);
+  while (!requests[1].finished()) dst.tick(requests);
+  EXPECT_EQ(src.state().bm.used_blocks(), 0);
+  // Only parked (refcount-0, cached) blocks remain on the destination.
+  EXPECT_EQ(dst.state().bm.used_blocks(), 0);
+}
+
+TEST(DisaggMigration, EndToEndServerSimPricesTransfersFromTheEngine) {
+  ServingConfig sc;
+  sc.qps = 8.0;
+  sc.duration_s = 12.0;
+  sc.kv_blocks = 96;
+  sc.cluster.disagg.enabled = true;
+  sc.cluster.disagg.prefill_replicas = 1;
+  sc.cluster.disagg.decode_replicas = 1;
+  const ClusterStats cs = simulate_cluster_detailed(test_engine(), sc);
+  EXPECT_GT(cs.migrations, 0);
+  EXPECT_GT(cs.transferred_tokens, 0);
+  // kv_bytes_per_token auto-derives from the engine (> 0), and the link
+  // from the device interconnect, so real time accrues on the wire.
+  EXPECT_GT(cs.transfer_bytes, 0.0);
+  EXPECT_GT(cs.transfer_seconds, 0.0);
+  EXPECT_EQ(cs.sched.metrics.completed + cs.sched.rejected + cs.sched.shed,
+            static_cast<index_t>(cs.sched.requests.size()));
+  for (const auto& rep : cs.replicas) {
+    EXPECT_EQ(rep.leaked_kv_blocks, 0);
+  }
+  // Bit-identical repeat.
+  const ClusterStats again = simulate_cluster_detailed(test_engine(), sc);
+  expect_sched_equal(cs.sched, again.sched);
+  EXPECT_EQ(cs.migrations, again.migrations);
+  EXPECT_EQ(cs.transfer_bytes, again.transfer_bytes);
+}
+
 // ------------------------------------------------------------- validation
 
 TEST(ClusterValidation, BadOptionsThrow) {
@@ -371,6 +631,26 @@ TEST(ClusterValidation, BadOptionsThrow) {
   opts = ClusterOptions{};
   opts.autoscaler.enabled = true;
   opts.replicas = opts.autoscaler.max_replicas + 1;
+  EXPECT_THROW(opts.validate(), Error);
+
+  // Disaggregation: pool sizes must be positive, pricing non-negative,
+  // and the autoscaler cannot resize fixed pools.
+  opts = ClusterOptions{};
+  opts.disagg.enabled = true;
+  opts.disagg.prefill_replicas = 0;
+  EXPECT_THROW(opts.validate(), Error);
+  opts.disagg.prefill_replicas = 1;
+  opts.disagg.decode_replicas = 0;
+  EXPECT_THROW(opts.validate(), Error);
+  opts.disagg.decode_replicas = 1;
+  opts.disagg.kv_bytes_per_token = -1.0;
+  EXPECT_THROW(opts.validate(), Error);
+  opts.disagg.kv_bytes_per_token = 0.0;
+  opts.disagg.link_latency_s = -1e-6;
+  EXPECT_THROW(opts.validate(), Error);
+  opts.disagg.link_latency_s = 0.0;
+  opts.validate();  // the zero-cost link itself is legal
+  opts.autoscaler.enabled = true;
   EXPECT_THROW(opts.validate(), Error);
 }
 

@@ -45,6 +45,12 @@ TEST(ParallelConfig, ValidationAndDerivedQuantities) {
   EXPECT_THROW(ParallelConfig({0, 1, 0}).validate(), Error);
   EXPECT_THROW(ParallelConfig({1, 0, 0}).validate(), Error);
   EXPECT_THROW(ParallelConfig({1, 1, -1}).validate(), Error);
+
+  pc = {4, 1, 0};
+  pc.comm_buckets = 4;
+  EXPECT_EQ(pc.to_string(), "tp4 pp1 cb4");
+  pc.comm_buckets = 0;
+  EXPECT_THROW(pc.validate(), Error);
 }
 
 // ------------------------------------------------------------- workers
@@ -217,6 +223,56 @@ TEST(ParallelEngine, PipelineAddsBubbleAndSendOverhead) {
   const ParallelEngine mb8(engine, {1, 2, 8});
   EXPECT_LT(mb8.decode_breakdown(32, 512.0).bubble_fraction,
             b.bubble_fraction);
+}
+
+// ------------------------------------------------- comm/compute overlap
+
+TEST(CommOverlap, OneBucketIsBitIdenticalToTheSerializedModel) {
+  const Engine engine(a100_cfg());
+  const ParallelEngine serialized(engine, {4, 1, 0});
+  ParallelConfig pc{4, 1, 0};
+  pc.comm_buckets = 1;
+  const ParallelEngine explicit_one(engine, pc);
+  for (const index_t batch : {index_t{1}, index_t{16}, index_t{64}}) {
+    EXPECT_EQ(explicit_one.decode_step_seconds(batch, 400.0),
+              serialized.decode_step_seconds(batch, 400.0));
+    const auto b = explicit_one.decode_breakdown(batch, 400.0);
+    EXPECT_EQ(b.overlap_saved_s, 0.0);
+  }
+}
+
+TEST(CommOverlap, BucketsOverlapCommAndNeverSlowAStepDown) {
+  const Engine engine(a100_cfg());
+  const ParallelEngine serialized(engine, {4, 1, 0});
+  ParallelConfig pc{4, 1, 0};
+  pc.comm_buckets = 4;
+  const ParallelEngine bucketed(engine, pc);
+  bool saved_somewhere = false;
+  for (const index_t batch : {index_t{1}, index_t{8}, index_t{64}}) {
+    const double serial_t = serialized.decode_step_seconds(batch, 512.0);
+    const auto b = bucketed.decode_breakdown(batch, 512.0);
+    // Overlap is clamped to min(serialized, pipelined): never worse.
+    EXPECT_LE(b.total_s, serial_t);
+    EXPECT_GE(b.overlap_saved_s, 0.0);
+    // The saved component is exactly the serialized-minus-overlapped gap.
+    EXPECT_NEAR(b.total_s + b.overlap_saved_s, serial_t, 1e-12);
+    if (b.overlap_saved_s > 0.0) saved_somewhere = true;
+    // Prefill pricing is untouched by decode-side overlap.
+    EXPECT_EQ(bucketed.prefill_seconds(batch, 64),
+              serialized.prefill_seconds(batch, 64));
+  }
+  EXPECT_TRUE(saved_somewhere);
+}
+
+TEST(CommOverlap, NoTensorParallelMeansNothingToOverlap) {
+  const Engine engine(a100_cfg());
+  ParallelConfig pc{1, 2, 0};
+  pc.comm_buckets = 8;
+  const ParallelEngine pe(engine, pc);
+  const ParallelEngine base(engine, {1, 2, 0});
+  EXPECT_EQ(pe.decode_step_seconds(32, 256.0),
+            base.decode_step_seconds(32, 256.0));
+  EXPECT_EQ(pe.decode_breakdown(32, 256.0).overlap_saved_s, 0.0);
 }
 
 TEST(ParallelEngine, MinRankBudgetBindsAcrossAsymmetricStages) {
